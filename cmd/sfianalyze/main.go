@@ -1,0 +1,131 @@
+// Command sfianalyze runs the data-aware weight-distribution analysis of
+// the paper's Section III-B and prints the data behind Figs. 1-4:
+//
+//	-fig1   p·(1−p) vs p (the Bernoulli variance curve, Fig. 1 left)
+//	-fig2   the bit-flip distance example of Fig. 2
+//	-fig3   per-bit f0/f1 counts over the model's weights (Fig. 3)
+//	-fig4   the derived per-bit criticality p(i) (Fig. 4)
+//
+// Output is CSV on stdout (ready for plotting) plus an ASCII rendition
+// on request (-bars).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cnnsfi/internal/fp"
+	"cnnsfi/internal/report"
+	"cnnsfi/internal/stats"
+	"cnnsfi/sfi"
+)
+
+func main() {
+	model := flag.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
+	seed := flag.Int64("seed", 1, "weight-generation seed")
+	format := flag.String("format", "fp32", "representation: fp32, fp16, bf16")
+	fig1 := flag.Bool("fig1", false, "print the p·(1−p) curve")
+	fig2 := flag.Bool("fig2", false, "print a bit-flip distance example")
+	fig3 := flag.Bool("fig3", false, "print per-bit f0/f1 counts")
+	fig4 := flag.Bool("fig4", false, "print the derived p(i)")
+	bars := flag.Bool("bars", false, "also render ASCII bars")
+	flag.Parse()
+
+	if !*fig1 && !*fig2 && !*fig3 && !*fig4 {
+		*fig3, *fig4 = true, true // the paper's headline analysis
+	}
+
+	var f sfi.Format
+	int8Mode := false
+	switch *format {
+	case "fp32":
+		f = sfi.FP32
+	case "fp16":
+		f = sfi.FP16
+	case "bf16":
+		f = sfi.BF16
+	case "int8":
+		int8Mode = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want fp32, fp16, bf16, or int8)\n", *format)
+		os.Exit(1)
+	}
+
+	if *fig1 {
+		fmt.Println("# Fig. 1 (left): Bernoulli variance p·(1-p)")
+		csv := report.NewCSV(os.Stdout, "p", "p_times_1_minus_p")
+		for p := 0.0; p <= 1.0001; p += 0.05 {
+			csv.Row(p, stats.BernoulliVariance(p))
+		}
+		fmt.Println()
+	}
+
+	if *fig2 {
+		fmt.Println("# Fig. 2: bit-flip distance example (bit 28 on a typical weight)")
+		w := float32(0.0417)
+		csv := report.NewCSV(os.Stdout, "bit", "golden", "faulty", "distance")
+		for _, bit := range []int{0, 10, 22, 23, 28, 30, 31} {
+			faulty := fp.FlipBit32(w, bit)
+			csv.Row(bit, w, faulty, fp.FlipDistance32(w, bit))
+		}
+		fmt.Println()
+	}
+
+	net, err := sfi.BuildModel(*model, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if int8Mode {
+		a := sfi.AnalyzeWeightsINT8(net.AllWeights())
+		fmt.Printf("# INT8 data-aware analysis of %s (%d weights, Δ = %g)\n",
+			net.NetName, a.Count, a.Scheme.Delta)
+		csv := report.NewCSV(os.Stdout, "bit", "f0", "f1", "davg", "p")
+		for i := 7; i >= 0; i-- {
+			csv.Row(i, a.F0[i], a.F1[i], a.Davg[i], a.P[i])
+		}
+		return
+	}
+
+	analysis := sfi.AnalyzeWeightsIn(net.AllWeights(), f)
+
+	if *fig3 {
+		fmt.Printf("# Fig. 3: bit value frequencies over %s weights (%s, %d weights)\n",
+			net.NetName, f.Name, analysis.Count)
+		csv := report.NewCSV(os.Stdout, "bit", "role", "f0_count", "f1_count")
+		for i := f.Bits - 1; i >= 0; i-- {
+			csv.Row(i, f.RoleOf(i).String(), analysis.CountF0(i), analysis.CountF1(i))
+		}
+		fmt.Println()
+		if *bars {
+			labels := make([]string, f.Bits)
+			vals := make([]float64, f.Bits)
+			for i := 0; i < f.Bits; i++ {
+				labels[i] = fmt.Sprintf("bit %2d f1", f.Bits-1-i)
+				vals[i] = analysis.F1[f.Bits-1-i]
+			}
+			report.Bars(os.Stdout, "f1(i) relative frequency", labels, vals, 50)
+			fmt.Println()
+		}
+	}
+
+	if *fig4 {
+		fmt.Printf("# Fig. 4: data-aware p(i) for %s (%s)\n", net.NetName, f.Name)
+		csv := report.NewCSV(os.Stdout, "bit", "role", "davg", "p")
+		for i := f.Bits - 1; i >= 0; i-- {
+			csv.Row(i, f.RoleOf(i).String(), analysis.Davg[i], analysis.P[i])
+		}
+		fmt.Printf("# most critical bit: %d\n", analysis.MostCriticalBit())
+		if *bars {
+			labels := make([]string, f.Bits)
+			vals := make([]float64, f.Bits)
+			for i := 0; i < f.Bits; i++ {
+				labels[i] = fmt.Sprintf("bit %2d", f.Bits-1-i)
+				vals[i] = analysis.P[f.Bits-1-i]
+			}
+			report.Bars(os.Stdout, "p(i)", labels, vals, 50)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command sfiplan prints the statistical fault-injection campaign plans
+// of the paper's Tables I and II for a registered model: the per-layer
+// exhaustive population and the sample sizes of the four SFI approaches
+// (network-wise, layer-wise, data-unaware, data-aware).
+//
+// Usage:
+//
+//	sfiplan -model resnet20            # Table I
+//	sfiplan -model mobilenetv2         # Table II
+//	sfiplan -model resnet20 -e 0.005 -confidence 0.95 -exact-z
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cnnsfi/internal/report"
+	"cnnsfi/sfi"
+)
+
+func main() {
+	model := flag.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
+	seed := flag.Int64("seed", 1, "weight-generation seed")
+	e := flag.Float64("e", 0.01, "error margin")
+	confidence := flag.Float64("confidence", 0.99, "confidence level")
+	exactZ := flag.Bool("exact-z", false, "use the exact normal quantile instead of the paper's rounded convention (2.58)")
+	flag.Parse()
+
+	net, err := sfi.BuildModel(*model, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := sfi.DefaultConfig()
+	cfg.ErrorMargin = *e
+	cfg.Confidence = *confidence
+	cfg.UseExactZ = *exactZ
+
+	space := sfi.StuckAtSpace(net)
+	analysis := sfi.AnalyzeWeights(net.AllWeights())
+
+	network := sfi.PlanNetworkWise(space, cfg)
+	layer := sfi.PlanLayerWise(space, cfg)
+	unaware := sfi.PlanDataUnaware(space, cfg)
+	aware := sfi.PlanDataAware(space, cfg, analysis.P)
+
+	title := fmt.Sprintf("%s: Exhaustive vs Statistical FIs (e=%.2g%%, confidence=%.3g, t=%.4g)",
+		net.NetName, *e*100, *confidence, cfg.Z())
+	tab := report.NewTable(title,
+		"Layer", "Parameters", "Exhaustive FI",
+		"Network-wise [9]", "Layer-wise", "Data-unaware (p==0.5)", "Data-aware (p!=0.5)")
+
+	params := net.LayerParamCounts()
+	for l := 0; l < space.NumLayers(); l++ {
+		netWiseCell := "-" // the global stratum does not target layers
+		tab.AddRow(l, params[l], space.LayerTotal(l),
+			netWiseCell,
+			layer.LayerInjections(l),
+			unaware.LayerInjections(l),
+			aware.LayerInjections(l))
+	}
+	tab.AddRow("Total", net.TotalWeights(), space.Total(),
+		network.TotalInjections(),
+		layer.TotalInjections(),
+		unaware.TotalInjections(),
+		aware.TotalInjections())
+	tab.Render(os.Stdout)
+
+	fmt.Printf("\nInjected fraction of the population:\n")
+	fmt.Printf("  network-wise  %8s\n", report.Pct(network.InjectedFraction()))
+	fmt.Printf("  layer-wise    %8s\n", report.Pct(layer.InjectedFraction()))
+	fmt.Printf("  data-unaware  %8s\n", report.Pct(unaware.InjectedFraction()))
+	fmt.Printf("  data-aware    %8s\n", report.Pct(aware.InjectedFraction()))
+}

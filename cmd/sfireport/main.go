@@ -1,0 +1,119 @@
+// Command sfireport renders saved campaign results (Result.WriteJSON /
+// sfirun output) into vulnerability and reliability reports without
+// re-running any injections:
+//
+//	sfirun ... (save a campaign)          # produce result.json
+//	sfireport -in result.json             # layer/bit rankings
+//	sfireport -in result.json -fit 1e-4   # + SDC FIT and protection sweep
+//
+// With -run, the tool first executes a fresh data-unaware campaign on
+// the named model against the oracle substrate and saves it to -in, so a
+// full report can be produced in one invocation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cnnsfi/internal/report"
+	"cnnsfi/sfi"
+)
+
+func main() {
+	in := flag.String("in", "result.json", "campaign result file")
+	run := flag.Bool("run", false, "run a fresh data-unaware oracle campaign on -model and save it to -in first")
+	model := flag.String("model", "smallcnn", "model for -run")
+	seed := flag.Int64("seed", 1, "weight seed for -run")
+	oracleSeed := flag.Int64("oracle-seed", 3, "ground-truth seed for -run")
+	fitPerBit := flag.Float64("fit", 0, "raw soft-error rate (FIT/bit); > 0 enables the reliability report")
+	mission := flag.Float64("mission", 50000, "mission duration in hours for the reliability report")
+	topBits := flag.Int("top-bits", 6, "bit-ranking entries to print")
+	flag.Parse()
+
+	if *run {
+		if err := runAndSave(*model, *seed, *oracleSeed, *in); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	result, err := sfi.ReadResultJSON(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := result.Plan.Config
+	fmt.Printf("campaign: %s, %s injections over %s faults (e=%.2g%%, confidence %.3g)\n\n",
+		result.Plan.Approach, report.Comma(result.Injections()),
+		report.Comma(result.Plan.Space.Total()), cfg.ErrorMargin*100, cfg.Confidence)
+
+	// Layer ranking.
+	ranks := result.RankLayers()
+	tab := report.NewTable("layer vulnerability ranking", "rank", "layer", "critical [%]", "margin [%]", "n")
+	for i, r := range ranks {
+		tab.AddRow(i+1, r.Layer,
+			fmt.Sprintf("%.4f", r.Estimate.PHat()*100),
+			fmt.Sprintf("%.4f", r.Estimate.Margin(cfg)*100),
+			r.Estimate.SampleSize())
+	}
+	tab.Render(os.Stdout)
+	fmt.Printf("top-2 statistically separated: %v\n\n", sfi.TopSeparated(ranks, cfg))
+
+	// Bit ranking (bit-granular plans only).
+	if result.Plan.Approach == sfi.DataUnaware || result.Plan.Approach == sfi.DataAware {
+		bits := result.RankBits()
+		if *topBits > len(bits) {
+			*topBits = len(bits)
+		}
+		bt := report.NewTable("bit vulnerability ranking", "rank", "bit", "role", "critical [%]", "margin [%]")
+		for i, r := range bits[:*topBits] {
+			bt.AddRow(i+1, r.Bit, sfi.FP32.RoleOf(r.Bit).String(),
+				fmt.Sprintf("%.4f", r.Estimate.PHat()*100),
+				fmt.Sprintf("%.4f", r.Estimate.Margin(cfg)*100))
+		}
+		bt.Render(os.Stdout)
+		fmt.Println()
+
+		if *fitPerBit > 0 {
+			rep, err := sfi.AssessReliability(result, sfi.SERConfig{RawFITPerBit: *fitPerBit})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("SDC rate (unprotected): %.6f FIT over %s cells\n",
+				rep.SDCFIT, report.Comma(rep.TotalCells))
+			for k := 0; k <= 2; k++ {
+				p := rep.BestProtection(k)
+				fmt.Printf("  protect %-12v residual %.6f FIT, overhead %s, mission(%gh) R=%.6f\n",
+					p.Bits, rep.ResidualFIT(p), report.Pct(rep.ProtectionOverhead(p)),
+					*mission, sfi.MissionReliability(rep.ResidualFIT(p), *mission))
+			}
+		}
+	} else if *fitPerBit > 0 {
+		fmt.Fprintln(os.Stderr, "reliability report needs a bit-granular campaign (data-unaware or data-aware)")
+	}
+}
+
+func runAndSave(model string, seed, oracleSeed int64, path string) error {
+	net, err := sfi.BuildModel(model, seed)
+	if err != nil {
+		return err
+	}
+	o := sfi.NewOracle(net, sfi.OracleDefaults(oracleSeed))
+	plan := sfi.PlanDataUnaware(o.Space(), sfi.DefaultConfig())
+	res := sfi.Run(o, plan, 0)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteJSON(f)
+}

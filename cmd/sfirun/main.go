@@ -1,0 +1,186 @@
+// Command sfirun executes statistical fault-injection campaigns and
+// reproduces the paper's evaluation artifacts:
+//
+//	-table3          all four approaches vs exhaustive (Table III)
+//	-fig5            per-layer exhaustive vs layer-wise vs data-aware
+//	-fig6 -layer 0   ten replicated samples per approach for one layer
+//	-fig7            per-layer network-wise vs data-aware vs exhaustive
+//
+// The -substrate flag selects the evaluator: "oracle" (full-scale
+// simulated ground truth, default; see DESIGN.md for the substitution
+// argument) or "inference" (real forward-pass injection; only feasible
+// for -model smallcnn).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cnnsfi/internal/core"
+	"cnnsfi/internal/oracle"
+	"cnnsfi/internal/report"
+	"cnnsfi/sfi"
+)
+
+func main() {
+	model := flag.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
+	seed := flag.Int64("seed", 1, "weight-generation seed")
+	oracleSeed := flag.Int64("oracle-seed", 3, "ground-truth labelling seed")
+	runSeed := flag.Int64("run-seed", 0, "sampling seed")
+	substrate := flag.String("substrate", "oracle", "evaluator: oracle or inference")
+	images := flag.Int("images", 8, "evaluation-set size for the inference substrate")
+	table3 := flag.Bool("table3", false, "print Table III")
+	fig5 := flag.Bool("fig5", false, "print Fig. 5 series")
+	fig6 := flag.Bool("fig6", false, "print Fig. 6 series")
+	fig7 := flag.Bool("fig7", false, "print Fig. 7 series")
+	layer := flag.Int("layer", 0, "layer for -fig6")
+	replicas := flag.Int("replicas", 10, "replicated samples for -fig6")
+	workers := flag.Int("workers", 1, "concurrent evaluation workers (oracle substrate only; 0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if !*table3 && !*fig5 && !*fig6 && !*fig7 {
+		*table3 = true
+	}
+
+	net, err := sfi.BuildModel(*model, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var ev sfi.Evaluator
+	var exhaustive []float64
+	switch *substrate {
+	case "oracle":
+		o := sfi.NewOracle(net, sfi.OracleDefaults(*oracleSeed))
+		fmt.Fprintf(os.Stderr, "enumerating exhaustive ground truth over %s faults...\n",
+			report.Comma(o.Space().Total()))
+		exhaustive = make([]float64, o.Space().NumLayers())
+		for l := range exhaustive {
+			exhaustive[l] = o.ExhaustiveLayerRate(l)
+		}
+		ev = o
+	case "inference":
+		if *model != "smallcnn" {
+			fmt.Fprintln(os.Stderr, "inference substrate: exhaustive validation is only feasible for -model smallcnn")
+			os.Exit(1)
+		}
+		ds := sfi.SyntheticDataset(sfi.DatasetConfig{N: *images, Seed: 1, Size: 16})
+		inj := sfi.NewInjector(net, ds)
+		fmt.Fprintf(os.Stderr, "running exhaustive inference FI over %s faults × %d images...\n",
+			report.Comma(inj.Space().Total()), *images)
+		exhaustive = exhaustiveByInference(inj)
+		ev = inj
+	default:
+		fmt.Fprintf(os.Stderr, "unknown substrate %q\n", *substrate)
+		os.Exit(1)
+	}
+
+	space := ev.Space()
+	cfg := sfi.DefaultConfig()
+	analysis := sfi.AnalyzeWeights(net.AllWeights())
+
+	run := func(plan *sfi.Plan, seed int64) *sfi.Result {
+		if *substrate == "oracle" && *workers != 1 {
+			return sfi.RunParallel(ev, plan, seed, *workers)
+		}
+		return sfi.Run(ev, plan, seed)
+	}
+
+	plans := map[string]*sfi.Plan{
+		"network-wise": sfi.PlanNetworkWise(space, cfg),
+		"layer-wise":   sfi.PlanLayerWise(space, cfg),
+		"data-unaware": sfi.PlanDataUnaware(space, cfg),
+		"data-aware":   sfi.PlanDataAware(space, cfg, analysis.P),
+	}
+	order := []string{"network-wise", "layer-wise", "data-unaware", "data-aware"}
+
+	if *table3 {
+		tab := report.NewTable(
+			fmt.Sprintf("Table III — %s (%s substrate)", net.NetName, *substrate),
+			"Approach", "FIs (n)", "Injected Faults [%]", "Avg Error Margin [%] (acceptable<1%)", "Covered layers")
+		tab.AddRow("exhaustive", space.Total(), "100.00%", "-", "-")
+		for _, name := range order {
+			cmp := sfi.Compare(run(plans[name], *runSeed), exhaustive)
+			tab.AddRow(name, cmp.Injections, report.Pct(cmp.InjectedFraction),
+				fmt.Sprintf("%.3f", cmp.AvgMargin*100),
+				fmt.Sprintf("%d/%d", cmp.CoveredLayers, space.NumLayers()))
+		}
+		tab.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	if *fig5 {
+		fmt.Printf("# Fig. 5 — %s: per-layer critical rate, layer-wise and data-aware SFI vs exhaustive\n", net.NetName)
+		lw := sfi.Compare(run(plans["layer-wise"], *runSeed), exhaustive)
+		da := sfi.Compare(run(plans["data-aware"], *runSeed), exhaustive)
+		csv := report.NewCSV(os.Stdout,
+			"layer", "exhaustive",
+			"layerwise_est", "layerwise_margin", "layerwise_n",
+			"dataaware_est", "dataaware_margin", "dataaware_n")
+		for l := 0; l < space.NumLayers(); l++ {
+			a, b := lw.Layers[l], da.Layers[l]
+			csv.Row(l, a.Exhaustive,
+				a.Estimate.PHat(), a.Margin, a.Estimate.SampleSize(),
+				b.Estimate.PHat(), b.Margin, b.Estimate.SampleSize())
+		}
+		fmt.Println()
+	}
+
+	if *fig6 {
+		fmt.Printf("# Fig. 6 — %s layer %d: %d replicated samples per approach (exhaustive = %.4f%%)\n",
+			net.NetName, *layer, *replicas, exhaustive[*layer]*100)
+		csv := report.NewCSV(os.Stdout, "approach", "sample", "n", "estimate", "margin", "covers_exhaustive")
+		for _, name := range order {
+			reps := sfi.ReplicatedEstimates(ev, plans[name], *layer, *replicas)
+			for s, est := range reps {
+				csv.Row(name, fmt.Sprintf("S%d", s), est.SampleSize(), est.PHat(),
+					est.Margin(cfg), est.Covers(cfg, exhaustive[*layer]))
+			}
+		}
+		fmt.Println()
+	}
+
+	if *fig7 {
+		fmt.Printf("# Fig. 7 — %s: per-layer critical rate, network-wise vs data-aware vs exhaustive\n", net.NetName)
+		nw := sfi.Compare(run(plans["network-wise"], *runSeed), exhaustive)
+		da := sfi.Compare(run(plans["data-aware"], *runSeed), exhaustive)
+		csv := report.NewCSV(os.Stdout,
+			"layer", "exhaustive",
+			"networkwise_est", "networkwise_margin", "networkwise_n",
+			"dataaware_est", "dataaware_margin", "dataaware_n")
+		for l := 0; l < space.NumLayers(); l++ {
+			a, b := nw.Layers[l], da.Layers[l]
+			csv.Row(l, a.Exhaustive,
+				a.Estimate.PHat(), a.Margin, a.Estimate.SampleSize(),
+				b.Estimate.PHat(), b.Margin, b.Estimate.SampleSize())
+		}
+	}
+}
+
+// exhaustiveByInference enumerates the whole population with real
+// forward passes (SmallCNN only; ~2 minutes on one core).
+func exhaustiveByInference(inj *sfi.Injector) []float64 {
+	space := inj.Space()
+	rates := make([]float64, space.NumLayers())
+	for l := 0; l < space.NumLayers(); l++ {
+		var critical int64
+		n := space.LayerTotal(l)
+		for j := int64(0); j < n; j++ {
+			if inj.IsCritical(space.LayerFault(l, j)) {
+				critical++
+			}
+		}
+		rates[l] = float64(critical) / float64(n)
+		fmt.Fprintf(os.Stderr, "  layer %d: %s faults, critical rate %.4f%%\n",
+			l, report.Comma(n), rates[l]*100)
+	}
+	return rates
+}
+
+// Compile-time checks that both substrates satisfy the Evaluator
+// interface used above.
+var (
+	_ core.Evaluator = (*oracle.Oracle)(nil)
+)

@@ -1,0 +1,60 @@
+// Reproduce Table I of the paper: the per-layer sample sizes of the four
+// statistical fault-injection approaches on ResNet-20, plus the weight-
+// distribution analysis (Figs. 3-4) that drives the data-aware column.
+//
+// Run with:
+//
+//	go run ./examples/resnet20plan
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cnnsfi/internal/report"
+	"cnnsfi/sfi"
+)
+
+func main() {
+	net, err := sfi.BuildModel("resnet20", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := sfi.StuckAtSpace(net)
+	cfg := sfi.DefaultConfig()
+
+	// The weight-distribution analysis behind Figs. 3 and 4.
+	analysis := sfi.AnalyzeWeights(net.AllWeights())
+	fmt.Printf("ResNet-20: %d weights; most critical bit: %d (p = %.2f)\n",
+		analysis.Count, analysis.MostCriticalBit(), analysis.PFor(analysis.MostCriticalBit()))
+	fmt.Println("\nper-bit criticality p(i) (Fig. 4):")
+	for i := 31; i >= 23; i-- {
+		fmt.Printf("  bit %2d (%-8s): f1 = %.3f, p = %.4f\n",
+			i, sfi.FP32.RoleOf(i), analysis.F1[i], analysis.P[i])
+	}
+	fmt.Println("  bits 22..0 (mantissa): p < 0.01 everywhere")
+
+	// Table I.
+	network := sfi.PlanNetworkWise(space, cfg)
+	layer := sfi.PlanLayerWise(space, cfg)
+	unaware := sfi.PlanDataUnaware(space, cfg)
+	aware := sfi.PlanDataAware(space, cfg, analysis.P)
+
+	fmt.Println()
+	tab := report.NewTable("Table I — ResNet-20: Exhaustive vs Statistical FIs",
+		"Layer", "Parameters", "Exhaustive", "Layer-wise", "Data-unaware", "Data-aware")
+	params := net.LayerParamCounts()
+	for l := 0; l < space.NumLayers(); l++ {
+		tab.AddRow(l, params[l], space.LayerTotal(l),
+			layer.LayerInjections(l), unaware.LayerInjections(l), aware.LayerInjections(l))
+	}
+	tab.AddRow("Total", net.TotalWeights(), space.Total(),
+		layer.TotalInjections(), unaware.TotalInjections(), aware.TotalInjections())
+	tab.Render(os.Stdout)
+
+	fmt.Printf("\nnetwork-wise [9] total: %s injections (%s of the population)\n",
+		report.Comma(network.TotalInjections()), report.Pct(network.InjectedFraction()))
+	fmt.Printf("data-aware total:       %s injections (%s of the population; the paper reports 1.21%%)\n",
+		report.Comma(aware.TotalInjections()), report.Pct(aware.InjectedFraction()))
+}

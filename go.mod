@@ -1,0 +1,3 @@
+module cnnsfi
+
+go 1.22

@@ -1,0 +1,98 @@
+package core
+
+import "cnnsfi/internal/stats"
+
+// LayerComparison judges one layer's statistical estimate against the
+// exhaustive ground truth — one group of bars in Figs. 5-7.
+type LayerComparison struct {
+	// Layer is the weight-layer index.
+	Layer int
+	// Exhaustive is the true critical-fault proportion of the layer.
+	Exhaustive float64
+	// Estimate is the campaign's estimate for the layer.
+	Estimate stats.Stratified
+	// Margin is the half-width of the estimate's confidence interval
+	// (the thin black error bars of the figures).
+	Margin float64
+	// Covered reports whether the exhaustive value falls inside
+	// Estimate.PHat() ± Margin — the paper's validity criterion.
+	Covered bool
+}
+
+// Comparison aggregates a campaign's per-layer validity — one row of
+// Table III.
+type Comparison struct {
+	// Approach identifies the SFI strategy.
+	Approach Approach
+	// Injections is the campaign cost n_TOT.
+	Injections int64
+	// InjectedFraction is Injections over the population size.
+	InjectedFraction float64
+	// AvgMargin is the error margin averaged over all layers (the
+	// "Avg Error Margin [%]" column; the paper's acceptability bar is
+	// e = 1%).
+	AvgMargin float64
+	// MaxMargin is the worst per-layer margin.
+	MaxMargin float64
+	// CoveredLayers counts layers whose exhaustive value the estimate
+	// covers.
+	CoveredLayers int
+	// Layers holds the per-layer detail.
+	Layers []LayerComparison
+	// NetworkEstimate is the whole-network estimate.
+	NetworkEstimate stats.Stratified
+	// NetworkExhaustive is the whole-network ground truth.
+	NetworkExhaustive float64
+}
+
+// Compare evaluates a campaign result against per-layer exhaustive
+// critical rates (index-aligned with the space's layers).
+func Compare(res *Result, exhaustiveByLayer []float64) *Comparison {
+	plan := res.Plan
+	space := plan.Space
+	c := &Comparison{
+		Approach:         plan.Approach,
+		Injections:       res.Injections(),
+		InjectedFraction: float64(res.Injections()) / float64(space.Total()),
+		NetworkEstimate:  res.NetworkEstimate(),
+	}
+
+	var weighted float64
+	for l := 0; l < space.NumLayers(); l++ {
+		weighted += exhaustiveByLayer[l] * float64(space.LayerTotal(l))
+	}
+	c.NetworkExhaustive = weighted / float64(space.Total())
+
+	var sumMargin float64
+	for l := 0; l < space.NumLayers(); l++ {
+		est := res.LayerEstimate(l)
+		margin := est.Margin(plan.Config)
+		truth := exhaustiveByLayer[l]
+		covered := est.Covers(plan.Config, truth)
+		if covered {
+			c.CoveredLayers++
+		}
+		if margin > c.MaxMargin {
+			c.MaxMargin = margin
+		}
+		sumMargin += margin
+		c.Layers = append(c.Layers, LayerComparison{
+			Layer: l, Exhaustive: truth, Estimate: est,
+			Margin: margin, Covered: covered,
+		})
+	}
+	c.AvgMargin = sumMargin / float64(space.NumLayers())
+	return c
+}
+
+// ReplicatedEstimates runs the plan nReplicas times with seeds
+// 0..nReplicas-1 and returns each replica's estimate for the given layer
+// — the S0-S9 samples of the paper's Fig. 6.
+func ReplicatedEstimates(ev Evaluator, plan *Plan, layer, nReplicas int) []stats.Stratified {
+	out := make([]stats.Stratified, nReplicas)
+	for s := 0; s < nReplicas; s++ {
+		res := Run(ev, plan, int64(s))
+		out[s] = res.LayerEstimate(layer)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/stats"
+)
+
+// RunParallel executes a plan like Run, evaluating strata concurrently
+// on up to workers goroutines (0 selects GOMAXPROCS). The evaluator's
+// IsCritical must be safe for concurrent use: the oracle substrate is;
+// the inference-based injectors are NOT (they mutate live network
+// weights), so use Run with those.
+//
+// The result is identical to Run with the same seed: every stratum's
+// sample is drawn up-front from its own sub-generator, so the draw does
+// not depend on evaluation interleaving.
+func RunParallel(ev Evaluator, plan *Plan, seed int64, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	space := ev.Space()
+
+	// Deterministic per-stratum draws: each stratum gets a generator
+	// seeded from the master sequence in plan order, mirroring Run's
+	// single-stream consumption (see drawAll).
+	samples := drawAll(plan, seed)
+
+	type job struct{ stratum int }
+	jobs := make(chan job)
+	res := &Result{Plan: plan, Estimates: make([]stats.ProportionEstimate, len(plan.Subpops))}
+
+	// Network-wise layer slices need a merge step; collect per worker.
+	sliceParts := make([]map[int]*stats.ProportionEstimate, len(plan.Subpops))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sub := plan.Subpops[j.stratum]
+				var successes int64
+				var perLayer map[int]*stats.ProportionEstimate
+				if sub.Layer < 0 {
+					perLayer = make(map[int]*stats.ProportionEstimate)
+				}
+				for _, idx := range samples[j.stratum] {
+					f := decodeFault(space, sub, idx)
+					critical := ev.IsCritical(f)
+					if critical {
+						successes++
+					}
+					if perLayer != nil {
+						pl := perLayer[f.Layer]
+						if pl == nil {
+							pl = &stats.ProportionEstimate{
+								PopulationSize: space.LayerTotal(f.Layer),
+								PlannedP:       sub.P,
+							}
+							perLayer[f.Layer] = pl
+						}
+						pl.SampleSize++
+						if critical {
+							pl.Successes++
+						}
+					}
+				}
+				res.Estimates[j.stratum] = stats.ProportionEstimate{
+					Successes:      successes,
+					SampleSize:     sub.SampleSize,
+					PopulationSize: sub.Population,
+					PlannedP:       sub.P,
+				}
+				sliceParts[j.stratum] = perLayer
+			}
+		}()
+	}
+	for i := range plan.Subpops {
+		jobs <- job{stratum: i}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, perLayer := range sliceParts {
+		if perLayer == nil {
+			continue
+		}
+		if res.LayerSlices == nil {
+			res.LayerSlices = make(map[int]stats.ProportionEstimate, len(perLayer))
+		}
+		for l, pl := range perLayer {
+			res.LayerSlices[l] = *pl
+		}
+	}
+	return res
+}
+
+// drawAll reproduces Run's sampling exactly: one master generator seeded
+// with seed, consumed stratum by stratum in plan order.
+func drawAll(plan *Plan, seed int64) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int64, len(plan.Subpops))
+	for i, sub := range plan.Subpops {
+		out[i] = stats.SampleWithoutReplacement(rng, sub.Population, sub.SampleSize)
+	}
+	return out
+}
+
+// decodeFaultChecked is decodeFault with validation, used by tests.
+func decodeFaultChecked(space faultmodel.Space, sub Subpopulation, j int64) (faultmodel.Fault, error) {
+	f := decodeFault(space, sub, j)
+	if err := space.Validate(f); err != nil {
+		return faultmodel.Fault{}, fmt.Errorf("core: decoded invalid fault: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,209 @@
+// Package core implements the paper's primary contribution: planning and
+// executing Statistical Fault Injection (SFI) campaigns on CNNs at the
+// four granularities of Section IV, and validating the estimates against
+// exhaustive ground truth.
+//
+//   - Network-wise SFI (the baseline of Leveugle et al. [9]): Eq. 1
+//     applied once to the whole fault population. Valid only for
+//     whole-network questions; the paper shows its per-layer estimates
+//     break the 4th Bernoulli assumption and exceed the target margin.
+//   - Layer-wise SFI: Eq. 1 per layer.
+//   - Data-unaware SFI (proposed): Eq. 1 per (bit, layer) subpopulation
+//     with the pessimistic p = 0.5.
+//   - Data-aware SFI (proposed): same granularity, but p(i) derived from
+//     the golden weight distribution (package dataaware), shrinking the
+//     campaign by an order of magnitude at equal validity.
+//
+// A Plan is the sample-size table (the paper's Tables I and II); a
+// Result is the outcome of drawing and injecting those samples against
+// an Evaluator (inference-based package inject, or the full-scale
+// package oracle); a Comparison judges the result against exhaustive
+// ground truth (Table III, Figs. 5-7).
+package core
+
+import (
+	"fmt"
+
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/stats"
+)
+
+// Approach enumerates the four SFI strategies.
+type Approach uint8
+
+// SFI approaches, in the paper's order.
+const (
+	NetworkWise Approach = iota
+	LayerWise
+	DataUnaware
+	DataAware
+)
+
+// String names the approach like the paper's table headers.
+func (a Approach) String() string {
+	switch a {
+	case NetworkWise:
+		return "network-wise"
+	case LayerWise:
+		return "layer-wise"
+	case DataUnaware:
+		return "data-unaware"
+	case DataAware:
+		return "data-aware"
+	default:
+		return "unknown"
+	}
+}
+
+// Subpopulation is one stratum of a plan: a slice of the fault universe
+// within which the per-trial success probability is assumed homogeneous
+// (the 4th Bernoulli assumption), together with its Eq. 1 sample size.
+type Subpopulation struct {
+	// Layer is the weight-layer index, or -1 for the whole network.
+	Layer int
+	// Bit is the bit position, or -1 when the stratum spans all bits.
+	Bit int
+	// Population is the stratum size N (or N_l, or N_(i,l)).
+	Population int64
+	// P is the planning success probability used in Eq. 1.
+	P float64
+	// SampleSize is n from Eq. 1 for this stratum.
+	SampleSize int64
+}
+
+// Plan is a complete SFI campaign specification: the strata and their
+// sample sizes (the content of the paper's Tables I and II).
+type Plan struct {
+	// Approach is the granularity strategy that produced the plan.
+	Approach Approach
+	// Config carries e, confidence, and rounding conventions.
+	Config stats.SampleSizeConfig
+	// Space is the fault universe being sampled.
+	Space faultmodel.Space
+	// Subpops are the strata in (layer, bit) order.
+	Subpops []Subpopulation
+}
+
+// PlanNetworkWise applies Eq. 1 once to the entire population
+// (Leveugle et al. [9]; n = 16,625 for ResNet-20 at e=1%, t=2.58).
+func PlanNetworkWise(space faultmodel.Space, cfg stats.SampleSizeConfig) *Plan {
+	N := space.Total()
+	return &Plan{
+		Approach: NetworkWise,
+		Config:   cfg,
+		Space:    space,
+		Subpops: []Subpopulation{{
+			Layer: -1, Bit: -1, Population: N, P: cfg.P,
+			SampleSize: cfg.SampleSize(N),
+		}},
+	}
+}
+
+// PlanLayerWise applies Eq. 1 to each layer's population.
+func PlanLayerWise(space faultmodel.Space, cfg stats.SampleSizeConfig) *Plan {
+	p := &Plan{Approach: LayerWise, Config: cfg, Space: space}
+	for l := 0; l < space.NumLayers(); l++ {
+		N := space.LayerTotal(l)
+		p.Subpops = append(p.Subpops, Subpopulation{
+			Layer: l, Bit: -1, Population: N, P: cfg.P,
+			SampleSize: cfg.SampleSize(N),
+		})
+	}
+	return p
+}
+
+// PlanDataUnaware applies Eq. 1 to every (bit, layer) subpopulation with
+// the pessimistic p = 0.5 taken from cfg (Eq. 3).
+func PlanDataUnaware(space faultmodel.Space, cfg stats.SampleSizeConfig) *Plan {
+	p := &Plan{Approach: DataUnaware, Config: cfg, Space: space}
+	for l := 0; l < space.NumLayers(); l++ {
+		N := space.BitLayerTotal(l)
+		n := cfg.SampleSize(N) // identical for every bit within the layer
+		for bit := 0; bit < space.Bits; bit++ {
+			p.Subpops = append(p.Subpops, Subpopulation{
+				Layer: l, Bit: bit, Population: N, P: cfg.P, SampleSize: n,
+			})
+		}
+	}
+	return p
+}
+
+// PlanDataAware applies Eq. 1 to every (bit, layer) subpopulation with
+// the per-bit success probabilities pPerBit derived from the golden
+// weight distribution (Eq. 5, package dataaware). len(pPerBit) must
+// equal space.Bits.
+func PlanDataAware(space faultmodel.Space, cfg stats.SampleSizeConfig, pPerBit []float64) *Plan {
+	if len(pPerBit) != space.Bits {
+		panic(fmt.Sprintf("core: got %d per-bit probabilities for %d bits", len(pPerBit), space.Bits))
+	}
+	p := &Plan{Approach: DataAware, Config: cfg, Space: space}
+	for l := 0; l < space.NumLayers(); l++ {
+		N := space.BitLayerTotal(l)
+		for bit := 0; bit < space.Bits; bit++ {
+			bitCfg := cfg.WithP(pPerBit[bit])
+			p.Subpops = append(p.Subpops, Subpopulation{
+				Layer: l, Bit: bit, Population: N, P: bitCfg.P,
+				SampleSize: bitCfg.SampleSize(N),
+			})
+		}
+	}
+	return p
+}
+
+// TotalInjections returns n_TOT, the campaign cost (Eq. 3's double sum).
+func (p *Plan) TotalInjections() int64 {
+	var total int64
+	for _, s := range p.Subpops {
+		total += s.SampleSize
+	}
+	return total
+}
+
+// LayerInjections returns the number of injections planned within layer
+// l (a row of Table I). For a network-wise plan this is 0: the strata do
+// not target individual layers.
+func (p *Plan) LayerInjections(l int) int64 {
+	var total int64
+	for _, s := range p.Subpops {
+		if s.Layer == l {
+			total += s.SampleSize
+		}
+	}
+	return total
+}
+
+// InjectedFraction returns TotalInjections divided by the population
+// size — the "Injected Faults [%]" column of Table III (as a fraction).
+func (p *Plan) InjectedFraction() float64 {
+	return float64(p.TotalInjections()) / float64(p.Space.Total())
+}
+
+// PlanDataAwarePerLayer is the per-layer refinement of PlanDataAware:
+// each (bit, layer) stratum gets its own probability pPerLayerBit[l][i],
+// derived from that layer's weight distribution rather than the
+// network-wide one. Layers with atypical weight scales (e.g. the first
+// convolution) get criticalities matched to their own bit statistics.
+// len(pPerLayerBit) must equal the layer count and each row must have
+// space.Bits entries.
+func PlanDataAwarePerLayer(space faultmodel.Space, cfg stats.SampleSizeConfig, pPerLayerBit [][]float64) *Plan {
+	if len(pPerLayerBit) != space.NumLayers() {
+		panic(fmt.Sprintf("core: got %d per-layer probability rows for %d layers",
+			len(pPerLayerBit), space.NumLayers()))
+	}
+	p := &Plan{Approach: DataAware, Config: cfg, Space: space}
+	for l := 0; l < space.NumLayers(); l++ {
+		if len(pPerLayerBit[l]) != space.Bits {
+			panic(fmt.Sprintf("core: layer %d has %d per-bit probabilities for %d bits",
+				l, len(pPerLayerBit[l]), space.Bits))
+		}
+		N := space.BitLayerTotal(l)
+		for bit := 0; bit < space.Bits; bit++ {
+			bitCfg := cfg.WithP(pPerLayerBit[l][bit])
+			p.Subpops = append(p.Subpops, Subpopulation{
+				Layer: l, Bit: bit, Population: N, P: bitCfg.P,
+				SampleSize: bitCfg.SampleSize(N),
+			})
+		}
+	}
+	return p
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"cnnsfi/internal/stats"
+)
+
+// LayerRank is one entry of a per-layer vulnerability ranking.
+type LayerRank struct {
+	// Layer is the weight-layer index.
+	Layer int
+	// Estimate is the layer's critical-fault proportion estimate.
+	Estimate stats.Stratified
+}
+
+// BitRank is one entry of a per-bit vulnerability ranking, aggregated
+// across all layers at fixed bit position.
+type BitRank struct {
+	// Bit is the bit position (0 = LSB).
+	Bit int
+	// Estimate is the bit's critical-fault proportion estimate across
+	// all layers.
+	Estimate stats.Stratified
+}
+
+// RankLayers returns the layers sorted by estimated critical-fault
+// proportion, most vulnerable first. This is the question the paper's
+// introduction motivates ("the most critical layer") — answerable by any
+// stratified plan, and by a network-wise plan only in the unsound
+// sliced sense its Section II-A warns about.
+func (r *Result) RankLayers() []LayerRank {
+	n := r.Plan.Space.NumLayers()
+	out := make([]LayerRank, n)
+	for l := 0; l < n; l++ {
+		out[l] = LayerRank{Layer: l, Estimate: r.LayerEstimate(l)}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Estimate.PHat() > out[j].Estimate.PHat()
+	})
+	return out
+}
+
+// MostCriticalLayer returns the index of the layer with the highest
+// estimated critical-fault proportion.
+func (r *Result) MostCriticalLayer() int { return r.RankLayers()[0].Layer }
+
+// RankBits aggregates the (bit, layer) strata by bit position and
+// returns the bits sorted most-vulnerable first ("the most critical bit
+// in the CNN weights"). It panics for plans without bit granularity —
+// the paper's core argument is that those campaigns cannot answer this
+// question.
+func (r *Result) RankBits() []BitRank {
+	if r.Plan.Approach != DataUnaware && r.Plan.Approach != DataAware {
+		panic("core: per-bit ranking requires a bit-granular plan (data-unaware or data-aware)")
+	}
+	byBit := make(map[int][]stats.ProportionEstimate)
+	for i, sub := range r.Plan.Subpops {
+		byBit[sub.Bit] = append(byBit[sub.Bit], r.Estimates[i])
+	}
+	out := make([]BitRank, 0, len(byBit))
+	for bit, parts := range byBit {
+		out = append(out, BitRank{Bit: bit, Estimate: stats.Stratified{Parts: parts}})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := out[i].Estimate.PHat(), out[j].Estimate.PHat()
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i].Bit > out[j].Bit
+	})
+	return out
+}
+
+// MostCriticalBit returns the bit position with the highest estimated
+// critical-fault proportion across all layers.
+func (r *Result) MostCriticalBit() int { return r.RankBits()[0].Bit }
+
+// TopSeparated reports whether the top-ranked entry of a layer ranking
+// is statistically separated from the runner-up at the configuration's
+// confidence: the intervals of rank 0 and rank 1 do not overlap. When
+// false, the campaign cannot certify which layer is the most critical —
+// a caveat rankings derived from sampled campaigns must carry.
+func TopSeparated(ranks []LayerRank, c stats.SampleSizeConfig) bool {
+	if len(ranks) < 2 {
+		return true
+	}
+	lo0 := ranks[0].Estimate.PHat() - ranks[0].Estimate.Margin(c)
+	hi1 := ranks[1].Estimate.PHat() + ranks[1].Estimate.Margin(c)
+	return lo0 > hi1
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cnnsfi/internal/models"
+	"cnnsfi/internal/oracle"
+	"cnnsfi/internal/stats"
+)
+
+func TestRankLayersAgainstExhaustive(t *testing.T) {
+	o, truth := smallOracle(t)
+	plan := PlanDataUnaware(o.Space(), stats.DefaultConfig())
+	res := Run(o, plan, 0)
+
+	ranks := res.RankLayers()
+	if len(ranks) != o.Space().NumLayers() {
+		t.Fatalf("ranked %d layers", len(ranks))
+	}
+	// Ordering is descending by estimate.
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i-1].Estimate.PHat() < ranks[i].Estimate.PHat() {
+			t.Fatal("ranking not descending")
+		}
+	}
+	// The estimated most-critical layer must be the true one, given the
+	// tight data-unaware margins.
+	bestTrue := 0
+	for l, r := range truth {
+		if r > truth[bestTrue] {
+			bestTrue = l
+		}
+	}
+	if got := res.MostCriticalLayer(); got != bestTrue {
+		t.Errorf("most critical layer = %d, exhaustive says %d (truth %v)", got, bestTrue, truth)
+	}
+}
+
+func TestRankBitsIdentifiesExponentMSB(t *testing.T) {
+	o, _ := smallOracle(t)
+	plan := PlanDataUnaware(o.Space(), stats.DefaultConfig())
+	res := Run(o, plan, 0)
+	ranks := res.RankBits()
+	if len(ranks) != 32 {
+		t.Fatalf("ranked %d bits", len(ranks))
+	}
+	if got := res.MostCriticalBit(); got != 30 {
+		t.Errorf("most critical bit = %d, want 30 (exponent MSB)", got)
+	}
+	// Mantissa LSB must rank at the very bottom region.
+	for i, r := range ranks {
+		if r.Bit == 0 && i < 20 {
+			t.Errorf("mantissa LSB ranked %d, want near the bottom", i)
+		}
+	}
+}
+
+func TestRankBitsPanicsOnCoarsePlans(t *testing.T) {
+	o, _ := smallOracle(t)
+	res := Run(o, PlanLayerWise(o.Space(), stats.DefaultConfig()), 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("RankBits on a layer-wise plan did not panic")
+		}
+	}()
+	res.RankBits()
+}
+
+func TestTopSeparated(t *testing.T) {
+	c := stats.DefaultConfig()
+	mk := func(successes, n, pop int64) stats.Stratified {
+		return stats.Stratified{Parts: []stats.ProportionEstimate{
+			{Successes: successes, SampleSize: n, PopulationSize: pop, PlannedP: 0.5},
+		}}
+	}
+	far := []LayerRank{
+		{Layer: 0, Estimate: mk(500, 1000, 100000)},
+		{Layer: 1, Estimate: mk(100, 1000, 100000)},
+	}
+	if !TopSeparated(far, c) {
+		t.Error("clearly separated ranking reported unseparated")
+	}
+	close := []LayerRank{
+		{Layer: 0, Estimate: mk(101, 1000, 100000)},
+		{Layer: 1, Estimate: mk(100, 1000, 100000)},
+	}
+	if TopSeparated(close, c) {
+		t.Error("overlapping ranking reported separated")
+	}
+	if !TopSeparated(far[:1], c) {
+		t.Error("singleton ranking should be trivially separated")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	o, _ := smallOracle(t)
+	plan := PlanLayerWise(o.Space(), stats.DefaultConfig())
+	res := Run(o, plan, 7)
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Plan.Approach != plan.Approach || len(back.Estimates) != len(res.Estimates) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range res.Estimates {
+		if back.Estimates[i] != res.Estimates[i] {
+			t.Fatalf("estimate %d changed: %+v vs %+v", i, back.Estimates[i], res.Estimates[i])
+		}
+	}
+	// Derived quantities must match after reload.
+	if back.LayerEstimate(2).PHat() != res.LayerEstimate(2).PHat() {
+		t.Error("layer estimate differs after reload")
+	}
+	if back.Injections() != res.Injections() {
+		t.Error("injections differ after reload")
+	}
+}
+
+func TestReadResultJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadResultJSON(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadResultJSON(bytes.NewBufferString(`{"version":99,"result":null}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := ReadResultJSON(bytes.NewBufferString(`{"version":1,"result":null}`)); err == nil {
+		t.Error("missing result accepted")
+	}
+	if _, err := ReadResultJSON(bytes.NewBufferString(
+		`{"version":1,"result":{"Plan":{"Approach":1,"Subpops":[{}]},"Estimates":[]}}`)); err == nil {
+		t.Error("estimate/strata mismatch accepted")
+	}
+}
+
+func TestNetworkWiseRankingIsUnreliable(t *testing.T) {
+	// The paper's warning, quantified: network-wise per-layer slices can
+	// misrank layers. With the stratified margins the ranking is at
+	// least flagged as unseparated.
+	o := oracle.New(models.ResNet20(1), oracle.DefaultConfig(3))
+	cfg := stats.DefaultConfig()
+	res := Run(o, PlanNetworkWise(o.Space(), cfg), 0)
+	ranks := res.RankLayers()
+	if TopSeparated(ranks, cfg) {
+		t.Error("network-wise ranking claims statistical separation; margins should forbid that")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/stats"
+)
+
+// Evaluator classifies a single fault as Critical or Non-critical. It is
+// implemented by the inference-based injector (package inject) and by
+// the full-scale simulated substrate (package oracle).
+type Evaluator interface {
+	// IsCritical runs one fault-injection experiment.
+	IsCritical(f faultmodel.Fault) bool
+	// Space returns the fault universe the evaluator covers.
+	Space() faultmodel.Space
+}
+
+// Result is the outcome of executing a Plan: one proportion estimate per
+// stratum, plus (for network-wise plans) the per-layer slices of the
+// single global sample that the paper warns are statistically unsound.
+type Result struct {
+	// Plan is the executed campaign specification.
+	Plan *Plan
+	// Estimates aligns with Plan.Subpops.
+	Estimates []stats.ProportionEstimate
+	// LayerSlices is only populated for network-wise plans: the
+	// per-layer tallies of the global sample. Their sample sizes are
+	// whatever the uniform draw happened to allocate to each layer —
+	// tiny for small layers — which is exactly why the per-layer
+	// margins blow up (Fig. 6, leftmost group).
+	LayerSlices map[int]stats.ProportionEstimate
+}
+
+// Run draws each stratum's sample without replacement and evaluates it.
+// The draw is deterministic in seed, so replicated samples S0-S9 of
+// Fig. 6 are Run calls with seeds 0..9.
+func Run(ev Evaluator, plan *Plan, seed int64) *Result {
+	space := ev.Space()
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{Plan: plan}
+
+	for _, sub := range plan.Subpops {
+		idx := stats.SampleWithoutReplacement(rng, sub.Population, sub.SampleSize)
+		var successes int64
+		var perLayer map[int]*stats.ProportionEstimate
+		if sub.Layer < 0 {
+			perLayer = make(map[int]*stats.ProportionEstimate)
+		}
+		for _, j := range idx {
+			f := decodeFault(space, sub, j)
+			critical := ev.IsCritical(f)
+			if critical {
+				successes++
+			}
+			if perLayer != nil {
+				pl := perLayer[f.Layer]
+				if pl == nil {
+					pl = &stats.ProportionEstimate{
+						PopulationSize: space.LayerTotal(f.Layer),
+						PlannedP:       sub.P,
+					}
+					perLayer[f.Layer] = pl
+				}
+				pl.SampleSize++
+				if critical {
+					pl.Successes++
+				}
+			}
+		}
+		res.Estimates = append(res.Estimates, stats.ProportionEstimate{
+			Successes:      successes,
+			SampleSize:     sub.SampleSize,
+			PopulationSize: sub.Population,
+			PlannedP:       sub.P,
+		})
+		if perLayer != nil {
+			res.LayerSlices = make(map[int]stats.ProportionEstimate, len(perLayer))
+			for l, pl := range perLayer {
+				res.LayerSlices[l] = *pl
+			}
+		}
+	}
+	return res
+}
+
+// decodeFault maps a stratum-local index to a concrete fault.
+func decodeFault(space faultmodel.Space, sub Subpopulation, j int64) faultmodel.Fault {
+	switch {
+	case sub.Layer < 0:
+		return space.GlobalFault(j)
+	case sub.Bit < 0:
+		return space.LayerFault(sub.Layer, j)
+	default:
+		return space.BitLayerFault(sub.Layer, sub.Bit, j)
+	}
+}
+
+// NetworkEstimate combines all strata into a single whole-network
+// estimate (population-weighted, with the stratified margin).
+func (r *Result) NetworkEstimate() stats.Stratified {
+	return stats.Stratified{Parts: r.Estimates}
+}
+
+// LayerEstimate returns the estimate for one layer's critical-fault
+// proportion:
+//
+//   - layer-wise plans: the layer's own stratum;
+//   - data-unaware / data-aware plans: the stratified combination of the
+//     layer's 32 per-bit strata;
+//   - network-wise plans: the layer's slice of the global sample (the
+//     statistically unsound construction the paper analyzes; a layer the
+//     sample never hit returns a zero-information estimate).
+func (r *Result) LayerEstimate(layer int) stats.Stratified {
+	if r.Plan.Approach == NetworkWise {
+		if est, ok := r.LayerSlices[layer]; ok {
+			return stats.Stratified{Parts: []stats.ProportionEstimate{est}}
+		}
+		return stats.Stratified{Parts: []stats.ProportionEstimate{
+			{PopulationSize: r.Plan.Space.LayerTotal(layer), PlannedP: r.Plan.Config.P},
+		}}
+	}
+	var parts []stats.ProportionEstimate
+	for i, sub := range r.Plan.Subpops {
+		if sub.Layer == layer {
+			parts = append(parts, r.Estimates[i])
+		}
+	}
+	if len(parts) == 0 {
+		panic(fmt.Sprintf("core: plan has no strata for layer %d", layer))
+	}
+	return stats.Stratified{Parts: parts}
+}
+
+// BitEstimate returns the estimate for one (layer, bit) subpopulation.
+// Only bit-granular plans (data-unaware, data-aware) can answer it; the
+// paper's central argument is that coarser campaigns cannot (the 4th
+// Bernoulli assumption fails). It panics for coarser plans.
+func (r *Result) BitEstimate(layer, bit int) stats.ProportionEstimate {
+	for i, sub := range r.Plan.Subpops {
+		if sub.Layer == layer && sub.Bit == bit {
+			return r.Estimates[i]
+		}
+	}
+	panic(fmt.Sprintf("core: plan %s has no (layer %d, bit %d) stratum — bit-level questions need bit-level sampling",
+		r.Plan.Approach, layer, bit))
+}
+
+// Injections returns the total number of experiments performed.
+func (r *Result) Injections() int64 {
+	var total int64
+	for _, e := range r.Estimates {
+		total += e.SampleSize
+	}
+	return total
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// resultJSON is the stable on-disk schema for a campaign result. The
+// plan is embedded so a saved result is self-describing.
+type resultJSON struct {
+	Version int     `json:"version"`
+	Result  *Result `json:"result"`
+}
+
+// currentVersion is bumped whenever the schema changes incompatibly.
+const currentVersion = 1
+
+// WriteJSON serializes the result (including its plan) to w. Campaign
+// results are expensive — a full-scale exhaustive enumeration or
+// millions of inferences — so persisting them lets reports and rankings
+// be recomputed without re-injection.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(resultJSON{Version: currentVersion, Result: r})
+}
+
+// ReadResultJSON deserializes a result previously written by WriteJSON.
+func ReadResultJSON(r io.Reader) (*Result, error) {
+	var doc resultJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding result: %w", err)
+	}
+	if doc.Version != currentVersion {
+		return nil, fmt.Errorf("core: unsupported result version %d (want %d)", doc.Version, currentVersion)
+	}
+	if doc.Result == nil || doc.Result.Plan == nil {
+		return nil, fmt.Errorf("core: result document missing plan")
+	}
+	if got, want := len(doc.Result.Estimates), len(doc.Result.Plan.Subpops); got != want {
+		return nil, fmt.Errorf("core: result has %d estimates for %d strata", got, want)
+	}
+	return doc.Result, nil
+}

@@ -1,0 +1,263 @@
+package dataaware
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnsfi/internal/fp"
+)
+
+// gaussianWeights mimics a trained conv layer's weight distribution.
+func gaussianWeights(n int, std float64, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, n)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64() * std)
+	}
+	return w
+}
+
+func TestAnalyzeBasicInvariants(t *testing.T) {
+	a := AnalyzeFP32(gaussianWeights(5000, 0.05, 1))
+	if a.Count != 5000 {
+		t.Fatalf("count = %d", a.Count)
+	}
+	for i := 0; i < 32; i++ {
+		if math.Abs(a.F0[i]+a.F1[i]-1) > 1e-12 {
+			t.Errorf("bit %d: f0+f1 = %v", i, a.F0[i]+a.F1[i])
+		}
+		if a.P[i] < 0 || a.P[i] > 0.5 {
+			t.Errorf("bit %d: p = %v outside [0, 0.5]", i, a.P[i])
+		}
+		if a.D01[i] < 0 || a.D10[i] < 0 {
+			t.Errorf("bit %d: negative distance", i)
+		}
+		if a.Davg[i] < 0 {
+			t.Errorf("bit %d: negative Davg", i)
+		}
+	}
+}
+
+// TestSignBitFrequencies: a symmetric zero-mean distribution has the sign
+// bit set about half the time — the pattern visible in the paper's
+// Fig. 3 at bit 31.
+func TestSignBitFrequencies(t *testing.T) {
+	a := AnalyzeFP32(gaussianWeights(20000, 0.05, 2))
+	if math.Abs(a.F1[31]-0.5) > 0.02 {
+		t.Errorf("sign-bit f1 = %v, want ≈ 0.5", a.F1[31])
+	}
+}
+
+// TestExponentBitFrequencies: weights with |w| « 1 have biased exponents
+// well below 127, so the exponent MSB (bit 30) is essentially always 0
+// — again matching Fig. 3.
+func TestExponentBitFrequencies(t *testing.T) {
+	a := AnalyzeFP32(gaussianWeights(20000, 0.05, 3))
+	if a.F1[30] > 0.001 {
+		t.Errorf("exponent-MSB f1 = %v, want ≈ 0", a.F1[30])
+	}
+	// Bits 23-26 of the exponent are frequently 1 for magnitudes around
+	// 2^-7..2^-3 (biased exponent ≈ 120-124 = 0111_1xxx).
+	if a.F1[26] < 0.5 {
+		t.Errorf("exponent bit 26 f1 = %v, want mostly 1", a.F1[26])
+	}
+}
+
+// TestPShapeMatchesFig4: the paper's Fig. 4 shows p ≈ 0.5 at the
+// exponent MSB, a falling staircase over the rest of the exponent, and
+// ≈ 0 over the whole mantissa. The most critical bit must be bit 30.
+func TestPShapeMatchesFig4(t *testing.T) {
+	a := AnalyzeFP32(gaussianWeights(50000, 0.08, 4))
+	if got := a.MostCriticalBit(); got != 30 {
+		t.Fatalf("most critical bit = %d, want 30", got)
+	}
+	if a.P[30] != 0.5 {
+		t.Errorf("p(30) = %v, want 0.5 (outlier clamped to max)", a.P[30])
+	}
+	// Mantissa bits are all near zero criticality.
+	for i := 0; i <= 15; i++ {
+		if a.P[i] > 0.05 {
+			t.Errorf("mantissa bit %d has p = %v, want ≈ 0", i, a.P[i])
+		}
+	}
+	// Exponent bits are on average far more critical than mantissa bits.
+	var expMean, mantMean float64
+	for i := 23; i <= 30; i++ {
+		expMean += a.P[i]
+	}
+	expMean /= 8
+	for i := 0; i < 23; i++ {
+		mantMean += a.P[i]
+	}
+	mantMean /= 23
+	if expMean <= 2*mantMean {
+		t.Errorf("mean exponent p %v does not dominate mean mantissa p %v", expMean, mantMean)
+	}
+	// The exponent MSB dominates the sign bit in raw criticality:
+	// flipping the sign of a small weight moves it by 2|w|, flipping
+	// bit 30 moves it by ~2^127.
+	if a.Davg[31] >= a.Davg[30] {
+		t.Errorf("sign Davg=%v should be below exponent MSB Davg=%v", a.Davg[31], a.Davg[30])
+	}
+}
+
+// TestDataAwareSavings reproduces the headline property of Table I: with
+// the derived p(i), the data-aware total sample size is far below the
+// data-unaware (p = 0.5) total at the same granularity.
+func TestDataAwareSavings(t *testing.T) {
+	a := AnalyzeFP32(gaussianWeights(50000, 0.08, 5))
+	var sumPVar float64
+	for _, p := range a.P {
+		sumPVar += p * (1 - p)
+	}
+	// Data-unaware: 32 bits × 0.25. If the data-aware variance sum is
+	// below 20% of it, the sample-size saving is of the same order as
+	// the paper's (207,837 / 4,885,760 ≈ 4%).
+	if ratio := sumPVar / (32 * 0.25); ratio > 0.3 {
+		t.Errorf("Σp(1-p) ratio = %v, want « 1 (large FI saving)", ratio)
+	}
+}
+
+func TestD01D10Asymmetry(t *testing.T) {
+	// For bit 30 with all-zero bit values, D10 must be 0 (no weight has
+	// the bit set) and D01 must be huge.
+	a := AnalyzeFP32(gaussianWeights(10000, 0.05, 6))
+	if a.D10[30] != 0 {
+		t.Errorf("D10(30) = %v, want 0 (bit never 1)", a.D10[30])
+	}
+	if a.D01[30] < 1e30 {
+		t.Errorf("D01(30) = %v, want astronomically large", a.D01[30])
+	}
+}
+
+func TestAnalyzeConstantWeights(t *testing.T) {
+	// Degenerate distribution: all weights identical. Analysis must not
+	// produce NaN and p must stay in range.
+	w := make([]float32, 100)
+	for i := range w {
+		w[i] = 0.125
+	}
+	a := AnalyzeFP32(w)
+	for i, p := range a.P {
+		if math.IsNaN(p) || p < 0 || p > 0.5 {
+			t.Errorf("bit %d: p = %v", i, p)
+		}
+	}
+}
+
+func TestAnalyzeFP16(t *testing.T) {
+	a := Analyze(gaussianWeights(10000, 0.05, 7), fp.FP16)
+	if len(a.P) != 16 {
+		t.Fatalf("fp16 analysis has %d bits", len(a.P))
+	}
+	// FP16 exponent MSB (bit 14) must dominate like FP32's bit 30.
+	if got := a.MostCriticalBit(); got != 14 {
+		t.Errorf("fp16 most critical bit = %d, want 14", got)
+	}
+}
+
+func TestAnalyzeBF16(t *testing.T) {
+	a := Analyze(gaussianWeights(10000, 0.05, 8), fp.BF16)
+	if len(a.P) != 16 {
+		t.Fatalf("bf16 analysis has %d bits", len(a.P))
+	}
+	if got := a.MostCriticalBit(); got != 14 { // bf16 exponent MSB
+		t.Errorf("bf16 most critical bit = %d, want 14", got)
+	}
+}
+
+func TestCountsMatchFrequencies(t *testing.T) {
+	w := gaussianWeights(1000, 0.05, 9)
+	a := AnalyzeFP32(w)
+	for i := 0; i < 32; i++ {
+		if a.CountF0(i)+a.CountF1(i) != 1000 {
+			t.Errorf("bit %d: counts sum to %d", i, a.CountF0(i)+a.CountF1(i))
+		}
+	}
+}
+
+func TestPForPanics(t *testing.T) {
+	a := AnalyzeFP32(gaussianWeights(10, 0.05, 10))
+	if a.PFor(0) != a.P[0] {
+		t.Error("PFor(0) mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range PFor did not panic")
+		}
+	}()
+	a.PFor(32)
+}
+
+func TestAnalyzeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty Analyze did not panic")
+		}
+	}()
+	AnalyzeFP32(nil)
+}
+
+func BenchmarkAnalyzeFP32(b *testing.B) {
+	w := gaussianWeights(268336, 0.05, 11) // ResNet-20 size
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeFP32(w)
+	}
+}
+
+func TestAnalyzeGammaPanicsOnBadGamma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("gamma <= 0 did not panic")
+		}
+	}()
+	AnalyzeGamma([]float32{1, 2}, fp.FP32, 0)
+}
+
+func TestAnalyzeGammaOneIsLinearEqFive(t *testing.T) {
+	w := gaussianWeights(20000, 0.05, 12)
+	linear := AnalyzeGamma(w, fp.FP32, 1)
+	sharp := AnalyzeGamma(w, fp.FP32, 2)
+	// Same Davg either way; only the p map changes.
+	for i := range linear.Davg {
+		if linear.Davg[i] != sharp.Davg[i] {
+			t.Fatal("gamma changed Davg")
+		}
+	}
+	// γ=2 compresses every interior p below the linear value.
+	for i := range linear.P {
+		if sharp.P[i] > linear.P[i]+1e-12 {
+			t.Errorf("bit %d: sharp p %v above linear %v", i, sharp.P[i], linear.P[i])
+		}
+	}
+}
+
+func TestPerLayerAnalysis(t *testing.T) {
+	layers := [][]float32{
+		gaussianWeights(2000, 0.25, 13), // wide first layer
+		gaussianWeights(2000, 0.05, 14), // narrow deep layer
+	}
+	pl := AnalyzePerLayer(layers, fp.FP32)
+	if len(pl.Layers) != 2 {
+		t.Fatalf("layers = %d", len(pl.Layers))
+	}
+	rows := pl.P()
+	for l, row := range rows {
+		if len(row) != 32 {
+			t.Fatalf("layer %d has %d bits", l, len(row))
+		}
+		for i, p := range row {
+			if p < 0 || p > 0.5 {
+				t.Errorf("layer %d bit %d: p = %v", l, i, p)
+			}
+		}
+	}
+	// Both layers put maximum criticality on the exponent MSB.
+	for l, a := range pl.Layers {
+		if got := a.MostCriticalBit(); got != 30 {
+			t.Errorf("layer %d most critical bit = %d", l, got)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestSyntheticDefaults(t *testing.T) {
+	d := Synthetic(Config{N: 20, Seed: 1})
+	if d.Len() != 20 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if d.Classes != 10 {
+		t.Errorf("classes = %d", d.Classes)
+	}
+	s := d.Samples[0]
+	if s.Image.Rank() != 3 || s.Image.Dim(0) != 3 || s.Image.Dim(1) != 32 || s.Image.Dim(2) != 32 {
+		t.Errorf("image shape = %v", s.Image.Shape)
+	}
+}
+
+func TestSyntheticValuesInRange(t *testing.T) {
+	d := Synthetic(Config{N: 10, Seed: 2})
+	for _, s := range d.Samples {
+		for _, v := range s.Image.Data {
+			if v < -1 || v > 1 || v != v {
+				t.Fatalf("pixel %v out of [-1,1]", v)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(Config{N: 5, Seed: 42})
+	b := Synthetic(Config{N: 5, Seed: 42})
+	for i := range a.Samples {
+		for j := range a.Samples[i].Image.Data {
+			if a.Samples[i].Image.Data[j] != b.Samples[i].Image.Data[j] {
+				t.Fatal("same seed gave different images")
+			}
+		}
+	}
+	c := Synthetic(Config{N: 5, Seed: 43})
+	if c.Samples[0].Image.Data[100] == a.Samples[0].Image.Data[100] {
+		t.Error("different seeds suspiciously identical")
+	}
+}
+
+func TestSyntheticBalancedLabels(t *testing.T) {
+	d := Synthetic(Config{N: 100, Seed: 3})
+	for label, count := range d.ClassCounts() {
+		if count != 10 {
+			t.Errorf("class %d has %d samples, want 10", label, count)
+		}
+	}
+}
+
+func TestSyntheticClassesAreDistinct(t *testing.T) {
+	// Mean images of two different classes should differ much more than
+	// two samples of the same class (pattern identity dominates noise).
+	d := Synthetic(Config{N: 40, Seed: 4, Noise: 0.05})
+	var same, diff float64
+	var nSame, nDiff int
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			a, b := d.Samples[i], d.Samples[j]
+			dist := l2(a.Image.Data, b.Image.Data)
+			if a.Label == b.Label {
+				same += dist
+				nSame++
+			} else {
+				diff += dist
+				nDiff++
+			}
+		}
+	}
+	if nSame == 0 || nDiff == 0 {
+		t.Fatal("bad test setup")
+	}
+	if same/float64(nSame) >= diff/float64(nDiff) {
+		t.Errorf("intra-class distance %v not below inter-class %v", same/float64(nSame), diff/float64(nDiff))
+	}
+}
+
+func l2(a, b []float32) float64 {
+	var sum float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		sum += d * d
+	}
+	return sum
+}
+
+func TestSplit(t *testing.T) {
+	d := Synthetic(Config{N: 30, Seed: 5})
+	train, test := d.Split(20)
+	if train.Len() != 20 || test.Len() != 10 {
+		t.Errorf("split sizes = %d/%d", train.Len(), test.Len())
+	}
+	if train.Classes != 10 || test.Classes != 10 {
+		t.Error("split lost class count")
+	}
+}
+
+func TestSplitPanicsOutOfRange(t *testing.T) {
+	d := Synthetic(Config{N: 5, Seed: 6})
+	defer func() {
+		if recover() == nil {
+			t.Error("bad split did not panic")
+		}
+	}()
+	d.Split(6)
+}
+
+func TestSyntheticPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("N=0 did not panic")
+		}
+	}()
+	Synthetic(Config{})
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := Synthetic(Config{N: 30, Seed: 7})
+	b := Synthetic(Config{N: 30, Seed: 7})
+	a.Shuffle(99)
+	b.Shuffle(99)
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatal("same shuffle seed gave different orders")
+		}
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	d := Synthetic(Config{N: 4, Seed: 8, Size: 16, Channels: 1, Classes: 4})
+	s := d.Samples[0]
+	if s.Image.Dim(0) != 1 || s.Image.Dim(1) != 16 {
+		t.Errorf("custom shape = %v", s.Image.Shape)
+	}
+	if d.Classes != 4 {
+		t.Errorf("classes = %d", d.Classes)
+	}
+}
+
+func TestToImageAndPNG(t *testing.T) {
+	d := Synthetic(Config{N: 2, Seed: 11})
+	img := d.Samples[0].ToImage()
+	if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 32 {
+		t.Fatalf("image bounds = %v", img.Bounds())
+	}
+	var buf bytes.Buffer
+	if err := d.Samples[0].WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 32 {
+		t.Error("decoded size wrong")
+	}
+	// Grayscale path for single-channel data.
+	g := Synthetic(Config{N: 1, Seed: 12, Channels: 1, Size: 8})
+	gi := g.Samples[0].ToImage()
+	c := gi.RGBAAt(3, 3)
+	if c.R != c.G || c.G != c.B {
+		t.Error("single-channel image should be gray")
+	}
+}

@@ -1,0 +1,315 @@
+// Package fp provides IEEE-754 bit-level manipulation primitives used by
+// the fault models and the data-aware statistical analysis.
+//
+// The paper targets the Single Precision IEEE 754 (binary32) standard:
+// faults are stuck-at-0/stuck-at-1 or transient bit-flips on individual
+// bits of CNN weights. This package implements:
+//
+//   - bit-level mutations (flip, stuck-at) on float32 values,
+//   - bit-role classification (sign / exponent / mantissa),
+//   - the bit-flip distance of Fig. 2: |golden − faulty| for a flip at a
+//     given bit position, with explicit handling of Inf/NaN outcomes,
+//   - binary16 (IEEE half) and bfloat16 software representations used by
+//     the future-work data-type extension (examples/datatype_sweep).
+//
+// All functions are pure and allocation-free; they are called hundreds of
+// millions of times during full-scale population scans.
+package fp
+
+import "math"
+
+// Width of the binary32 format and positions of its fields.
+const (
+	// Bits32 is the number of bits in an IEEE-754 binary32 value.
+	Bits32 = 32
+	// SignBit32 is the bit index of the binary32 sign bit.
+	SignBit32 = 31
+	// ExpLow32 is the lowest bit index of the binary32 exponent field.
+	ExpLow32 = 23
+	// ExpHigh32 is the highest bit index of the binary32 exponent field
+	// (the most critical bit for CNN weight faults).
+	ExpHigh32 = 30
+	// MantissaBits32 is the number of mantissa (fraction) bits.
+	MantissaBits32 = 23
+)
+
+// Role identifies the function of a bit position within a floating-point
+// representation.
+type Role uint8
+
+// Bit roles within an IEEE-754-style representation.
+const (
+	RoleMantissa Role = iota
+	RoleExponent
+	RoleSign
+)
+
+// String returns the lowercase name of the role.
+func (r Role) String() string {
+	switch r {
+	case RoleMantissa:
+		return "mantissa"
+	case RoleExponent:
+		return "exponent"
+	case RoleSign:
+		return "sign"
+	default:
+		return "unknown"
+	}
+}
+
+// RoleOf32 returns the role of bit i (0 = LSB) in a binary32 value.
+// It panics if i is outside [0, 31].
+func RoleOf32(i int) Role {
+	switch {
+	case i == SignBit32:
+		return RoleSign
+	case i >= ExpLow32 && i <= ExpHigh32:
+		return RoleExponent
+	case i >= 0 && i < ExpLow32:
+		return RoleMantissa
+	default:
+		panic("fp: bit index out of range for binary32")
+	}
+}
+
+// FlipBit32 returns v with bit i (0 = LSB) inverted.
+func FlipBit32(v float32, i int) float32 {
+	return math.Float32frombits(math.Float32bits(v) ^ (1 << uint(i)))
+}
+
+// SetBit32 returns v with bit i forced to 1 (stuck-at-1).
+func SetBit32(v float32, i int) float32 {
+	return math.Float32frombits(math.Float32bits(v) | (1 << uint(i)))
+}
+
+// ClearBit32 returns v with bit i forced to 0 (stuck-at-0).
+func ClearBit32(v float32, i int) float32 {
+	return math.Float32frombits(math.Float32bits(v) &^ (1 << uint(i)))
+}
+
+// Bit32 reports whether bit i of v is 1.
+func Bit32(v float32, i int) bool {
+	return math.Float32bits(v)&(1<<uint(i)) != 0
+}
+
+// StuckAt32 returns v with bit i forced to the given logic value.
+// stuckAt=false is stuck-at-0, stuckAt=true is stuck-at-1.
+func StuckAt32(v float32, i int, stuckAt bool) float32 {
+	if stuckAt {
+		return SetBit32(v, i)
+	}
+	return ClearBit32(v, i)
+}
+
+// MaxDistance is the value at which bit-flip distances are clamped when a
+// flip produces an Inf or NaN encoding. Trained CNN weights are almost
+// always |w| < 1 so the corrupted exponent rarely reaches the all-ones
+// pattern, but the clamp keeps averages finite when it does. The paper
+// does not state its handling; clamping at MaxFloat32 is the most
+// conservative finite choice (it is the supremum of representable
+// distances).
+const MaxDistance = math.MaxFloat32
+
+// FlipDistance32 returns |v − flip(v, i)| as a float64, the per-weight
+// distance of Fig. 2. Distances involving Inf or NaN encodings are
+// clamped to MaxDistance.
+func FlipDistance32(v float32, i int) float64 {
+	f := FlipBit32(v, i)
+	return distance(float64(v), float64(f))
+}
+
+// StuckDistance32 returns |v − stuck(v, i, stuckAt)|. The distance is 0
+// when the bit already holds the stuck value.
+func StuckDistance32(v float32, i int, stuckAt bool) float64 {
+	f := StuckAt32(v, i, stuckAt)
+	return distance(float64(v), float64(f))
+}
+
+func distance(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return MaxDistance
+	}
+	d := math.Abs(a - b)
+	if math.IsInf(d, 0) || d > MaxDistance {
+		return MaxDistance
+	}
+	return d
+}
+
+// IsPathological32 reports whether v is an Inf or NaN encoding, i.e. the
+// exponent field is all ones.
+func IsPathological32(v float32) bool {
+	bits := math.Float32bits(v)
+	return bits>>ExpLow32&0xff == 0xff
+}
+
+// Format describes a software floating-point representation analyzed by
+// the data-aware methodology. FP32 delegates to the hardware; FP16 and
+// BF16 are software-converted (the future-work extension of Section VI).
+type Format struct {
+	// Name is a short identifier such as "fp32".
+	Name string
+	// Bits is the total width of the representation.
+	Bits int
+	// ExpBits is the width of the exponent field.
+	ExpBits int
+	// MantBits is the width of the mantissa field.
+	MantBits int
+}
+
+// Predefined formats.
+var (
+	// FP32 is IEEE-754 binary32, the paper's target representation.
+	FP32 = Format{Name: "fp32", Bits: 32, ExpBits: 8, MantBits: 23}
+	// FP16 is IEEE-754 binary16.
+	FP16 = Format{Name: "fp16", Bits: 16, ExpBits: 5, MantBits: 10}
+	// BF16 is the bfloat16 format (truncated binary32).
+	BF16 = Format{Name: "bf16", Bits: 16, ExpBits: 8, MantBits: 7}
+)
+
+// SignBit returns the bit index of the sign bit for the format.
+func (f Format) SignBit() int { return f.Bits - 1 }
+
+// RoleOf returns the role of bit i (0 = LSB) within the format.
+// It panics if i is outside [0, f.Bits-1].
+func (f Format) RoleOf(i int) Role {
+	switch {
+	case i == f.Bits-1:
+		return RoleSign
+	case i >= f.MantBits && i < f.Bits-1:
+		return RoleExponent
+	case i >= 0 && i < f.MantBits:
+		return RoleMantissa
+	default:
+		panic("fp: bit index out of range for format " + f.Name)
+	}
+}
+
+// Encode converts a float32 into the format's bit pattern (round-to-
+// nearest-even for FP16, truncation-free rounding for BF16). For FP32 it
+// returns the raw binary32 bits.
+func (f Format) Encode(v float32) uint32 {
+	switch f.Name {
+	case "fp32":
+		return math.Float32bits(v)
+	case "fp16":
+		return uint32(Float32ToFloat16(v))
+	case "bf16":
+		return uint32(Float32ToBFloat16(v))
+	default:
+		panic("fp: unknown format " + f.Name)
+	}
+}
+
+// Decode converts a bit pattern in the format back to float32.
+func (f Format) Decode(bits uint32) float32 {
+	switch f.Name {
+	case "fp32":
+		return math.Float32frombits(bits)
+	case "fp16":
+		return Float16ToFloat32(uint16(bits))
+	case "bf16":
+		return BFloat16ToFloat32(uint16(bits))
+	default:
+		panic("fp: unknown format " + f.Name)
+	}
+}
+
+// FlipDistance returns |decode(bits) − decode(bits XOR 1<<i)| for the
+// format, clamped like FlipDistance32.
+func (f Format) FlipDistance(bits uint32, i int) float64 {
+	a := float64(f.Decode(bits))
+	b := float64(f.Decode(bits ^ 1<<uint(i)))
+	return distance(a, b)
+}
+
+// Float32ToFloat16 converts v to IEEE-754 binary16 with round-to-nearest-
+// even, handling overflow to Inf and subnormals.
+func Float32ToFloat16(v float32) uint16 {
+	bits := math.Float32bits(v)
+	sign := uint16(bits >> 16 & 0x8000)
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case bits&0x7fffffff == 0: // ±0
+		return sign
+	case bits>>23&0xff == 0xff: // Inf / NaN
+		if mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp >= 0x1f: // overflow → Inf
+		return sign | 0x7c00
+	case exp <= 0: // subnormal or underflow
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		// Add the implicit leading 1 then shift into subnormal position,
+		// rounding to nearest with ties to even.
+		mant |= 0x800000
+		shift := uint(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + half) >> shift
+		if mant&(half<<1-1) == half && rounded&1 == 1 {
+			rounded-- // tie: round back to even
+		}
+		return sign | uint16(rounded)
+	default:
+		// Normal: round mantissa from 23 to 10 bits, ties to even.
+		rounded := mant + 0xfff + (mant >> 13 & 1)
+		if rounded&0x800000 != 0 { // mantissa overflow bumps exponent
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return sign | 0x7c00
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(rounded>>13&0x3ff)
+	}
+}
+
+// Float16ToFloat32 converts an IEEE-754 binary16 bit pattern to float32.
+func Float16ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000) // ±Inf
+		}
+		return math.Float32frombits(sign | 0x7fc00000) // NaN
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// Float32ToBFloat16 converts v to bfloat16 with round-to-nearest-even.
+func Float32ToBFloat16(v float32) uint16 {
+	bits := math.Float32bits(v)
+	if bits>>23&0xff == 0xff && bits&0x7fffff != 0 {
+		return uint16(bits>>16) | 0x40 // keep NaN quiet
+	}
+	rounded := bits + 0x7fff + (bits >> 16 & 1)
+	return uint16(rounded >> 16)
+}
+
+// BFloat16ToFloat32 converts a bfloat16 bit pattern to float32.
+func BFloat16ToFloat32(b uint16) float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}

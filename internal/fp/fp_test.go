@@ -1,0 +1,368 @@
+package fp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoleOf32(t *testing.T) {
+	tests := []struct {
+		bit  int
+		want Role
+	}{
+		{0, RoleMantissa},
+		{12, RoleMantissa},
+		{22, RoleMantissa},
+		{23, RoleExponent},
+		{28, RoleExponent},
+		{30, RoleExponent},
+		{31, RoleSign},
+	}
+	for _, tt := range tests {
+		if got := RoleOf32(tt.bit); got != tt.want {
+			t.Errorf("RoleOf32(%d) = %v, want %v", tt.bit, got, tt.want)
+		}
+	}
+}
+
+func TestRoleOf32PanicsOutOfRange(t *testing.T) {
+	for _, bit := range []int{-1, 32, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RoleOf32(%d) did not panic", bit)
+				}
+			}()
+			RoleOf32(bit)
+		}()
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleMantissa.String() != "mantissa" || RoleExponent.String() != "exponent" || RoleSign.String() != "sign" {
+		t.Error("Role.String returned unexpected names")
+	}
+	if Role(99).String() != "unknown" {
+		t.Error("unknown role should stringify to unknown")
+	}
+}
+
+func TestFlipBit32KnownValues(t *testing.T) {
+	// Flipping the sign bit of 1.0 gives -1.0.
+	if got := FlipBit32(1.0, SignBit32); got != -1.0 {
+		t.Errorf("sign flip of 1.0 = %v, want -1.0", got)
+	}
+	// Flipping the MSB of the exponent of 1.0 (0x3f800000) gives
+	// 0xbf800000^... 0x3f800000 ^ 0x40000000 = 0x7f800000 → +Inf.
+	got := FlipBit32(1.0, ExpHigh32)
+	if !math.IsInf(float64(got), 1) {
+		t.Errorf("exp-MSB flip of 1.0 = %v, want +Inf", got)
+	}
+	// Flipping exponent MSB of 0.5 (exp=126) yields 2^127 ≈ 1.7e38.
+	got = FlipBit32(0.5, ExpHigh32)
+	if math.Abs(float64(got)-math.Pow(2, 127)*0.5/0.5) > 1e30 && got != float32(math.Pow(2, 126)) {
+		// 0.5 = 1.0 × 2^-1, biased exp 126 (0111_1110); flipping bit 30
+		// gives biased exp 254 → 2^127 × 1.0 = 1.7014e38.
+		t.Errorf("exp-MSB flip of 0.5 = %v", got)
+	}
+	// Flipping the LSB of the mantissa produces a tiny change.
+	d := math.Abs(float64(FlipBit32(1.0, 0)) - 1.0)
+	if d == 0 || d > 1e-6 {
+		t.Errorf("mantissa LSB flip distance = %v, want tiny nonzero", d)
+	}
+}
+
+func TestFlipBit32Involution(t *testing.T) {
+	f := func(v float32, bit uint8) bool {
+		i := int(bit % 32)
+		w := FlipBit32(FlipBit32(v, i), i)
+		return math.Float32bits(w) == math.Float32bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStuckAt32Idempotent(t *testing.T) {
+	f := func(v float32, bit uint8, sa bool) bool {
+		i := int(bit % 32)
+		once := StuckAt32(v, i, sa)
+		twice := StuckAt32(once, i, sa)
+		return math.Float32bits(once) == math.Float32bits(twice) && Bit32(once, i) == sa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetClearBit32(t *testing.T) {
+	v := float32(0.75)
+	for i := 0; i < 32; i++ {
+		if !Bit32(SetBit32(v, i), i) {
+			t.Errorf("SetBit32 bit %d not set", i)
+		}
+		if Bit32(ClearBit32(v, i), i) {
+			t.Errorf("ClearBit32 bit %d not cleared", i)
+		}
+	}
+}
+
+func TestFlipDistance32(t *testing.T) {
+	// Fig. 2 scenario: a high exponent bit flip on a small weight causes a
+	// huge distance; mantissa LSB causes a near-zero distance. (Bit 28 on
+	// |w|<1 flips a set exponent bit downward, so the distance is ≈|w|;
+	// bit 30 flips 0→1 and explodes the magnitude.)
+	w := float32(0.0417) // a typical trained conv weight magnitude
+	dExp := FlipDistance32(w, 30)
+	dLSB := FlipDistance32(w, 0)
+	if dExp <= 1.0 {
+		t.Errorf("bit-30 flip distance = %v, want large", dExp)
+	}
+	if d28 := FlipDistance32(w, 28); math.Abs(d28-float64(w)) > 1e-3 {
+		t.Errorf("bit-28 flip distance = %v, want ≈ |w|", d28)
+	}
+	if dLSB >= 1e-6 {
+		t.Errorf("bit-0 flip distance = %v, want tiny", dLSB)
+	}
+	if dExp <= dLSB {
+		t.Error("exponent flip should dominate mantissa flip")
+	}
+}
+
+func TestFlipDistance32ClampsInf(t *testing.T) {
+	// 1.0 has biased exponent 127; flipping bit 30 yields exponent 255
+	// (Inf). Distance must be clamped, not Inf.
+	d := FlipDistance32(1.0, ExpHigh32)
+	if math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Fatalf("distance not clamped: %v", d)
+	}
+	if d != MaxDistance {
+		t.Errorf("clamped distance = %v, want MaxDistance", d)
+	}
+}
+
+func TestFlipDistance32NaNInput(t *testing.T) {
+	d := FlipDistance32(float32(math.NaN()), 5)
+	if d != MaxDistance {
+		t.Errorf("NaN input distance = %v, want MaxDistance", d)
+	}
+}
+
+func TestStuckDistance32ZeroWhenAlreadyStuck(t *testing.T) {
+	f := func(v float32, bit uint8) bool {
+		if v != v { // skip NaN: distance() clamps NaN inputs to MaxDistance
+			return true
+		}
+		i := int(bit % 32)
+		cur := Bit32(v, i)
+		return StuckDistance32(v, i, cur) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStuckDistanceMatchesFlipWhenDifferent(t *testing.T) {
+	f := func(v float32, bit uint8) bool {
+		if v != v {
+			return true
+		}
+		i := int(bit % 32)
+		cur := Bit32(v, i)
+		return StuckDistance32(v, i, !cur) == FlipDistance32(v, i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPathological32(t *testing.T) {
+	if !IsPathological32(float32(math.Inf(1))) || !IsPathological32(float32(math.NaN())) {
+		t.Error("Inf/NaN should be pathological")
+	}
+	if IsPathological32(1.0) || IsPathological32(0) || IsPathological32(-123.5) {
+		t.Error("finite values should not be pathological")
+	}
+}
+
+func TestFormatRoleOf(t *testing.T) {
+	if FP16.RoleOf(15) != RoleSign || FP16.RoleOf(10) != RoleExponent || FP16.RoleOf(9) != RoleMantissa {
+		t.Error("FP16 roles wrong")
+	}
+	if BF16.RoleOf(15) != RoleSign || BF16.RoleOf(7) != RoleExponent || BF16.RoleOf(6) != RoleMantissa {
+		t.Error("BF16 roles wrong")
+	}
+	if FP32.RoleOf(31) != RoleSign || FP32.RoleOf(23) != RoleExponent || FP32.RoleOf(22) != RoleMantissa {
+		t.Error("FP32 roles wrong")
+	}
+}
+
+func TestFormatFieldWidthsConsistent(t *testing.T) {
+	for _, f := range []Format{FP32, FP16, BF16} {
+		if 1+f.ExpBits+f.MantBits != f.Bits {
+			t.Errorf("%s: fields do not sum to width", f.Name)
+		}
+		if f.SignBit() != f.Bits-1 {
+			t.Errorf("%s: sign bit misplaced", f.Name)
+		}
+	}
+}
+
+func TestFP32EncodeDecodeRoundTrip(t *testing.T) {
+	f := func(v float32) bool {
+		return math.Float32bits(FP32.Decode(FP32.Encode(v))) == math.Float32bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat16RoundTripExactValues(t *testing.T) {
+	// Values exactly representable in binary16 must round-trip.
+	exact := []float32{0, 1, -1, 0.5, -0.5, 2, 1024, 0.25, 65504, -65504, 6.103515625e-05}
+	for _, v := range exact {
+		h := Float32ToFloat16(v)
+		back := Float16ToFloat32(h)
+		if back != v {
+			t.Errorf("fp16 round trip %v -> %#x -> %v", v, h, back)
+		}
+	}
+}
+
+func TestFloat16Overflow(t *testing.T) {
+	h := Float32ToFloat16(1e10)
+	if !math.IsInf(float64(Float16ToFloat32(h)), 1) {
+		t.Error("fp16 overflow should produce +Inf")
+	}
+	h = Float32ToFloat16(-1e10)
+	if !math.IsInf(float64(Float16ToFloat32(h)), -1) {
+		t.Error("fp16 overflow should produce -Inf")
+	}
+}
+
+func TestFloat16Underflow(t *testing.T) {
+	if got := Float16ToFloat32(Float32ToFloat16(1e-30)); got != 0 {
+		t.Errorf("fp16 underflow = %v, want 0", got)
+	}
+}
+
+func TestFloat16Subnormal(t *testing.T) {
+	// Smallest positive binary16 subnormal is 2^-24.
+	v := float32(math.Pow(2, -24))
+	h := Float32ToFloat16(v)
+	if h != 1 {
+		t.Fatalf("2^-24 encodes to %#x, want 0x1", h)
+	}
+	if back := Float16ToFloat32(h); back != v {
+		t.Errorf("subnormal round trip = %v, want %v", back, v)
+	}
+}
+
+func TestFloat16NaN(t *testing.T) {
+	h := Float32ToFloat16(float32(math.NaN()))
+	if back := Float16ToFloat32(h); !math.IsNaN(float64(back)) {
+		t.Error("fp16 NaN not preserved")
+	}
+}
+
+func TestFloat16RoundingError(t *testing.T) {
+	// Round trip of arbitrary finite values within fp16 range keeps a
+	// relative error below 2^-10 (half the mantissa step).
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 2000; k++ {
+		v := float32((rng.Float64()*2 - 1) * 100)
+		if v == 0 {
+			continue
+		}
+		back := Float16ToFloat32(Float32ToFloat16(v))
+		rel := math.Abs(float64(back-v)) / math.Abs(float64(v))
+		if rel > 1.0/1024 {
+			t.Fatalf("fp16 relative error %v for %v", rel, v)
+		}
+	}
+}
+
+func TestBFloat16RoundTripExact(t *testing.T) {
+	exact := []float32{0, 1, -1, 0.5, 2, -128, 3.0}
+	for _, v := range exact {
+		if back := BFloat16ToFloat32(Float32ToBFloat16(v)); back != v {
+			t.Errorf("bf16 round trip %v -> %v", v, back)
+		}
+	}
+}
+
+func TestBFloat16NaNPreserved(t *testing.T) {
+	b := Float32ToBFloat16(float32(math.NaN()))
+	if !math.IsNaN(float64(BFloat16ToFloat32(b))) {
+		t.Error("bf16 NaN not preserved")
+	}
+}
+
+func TestBFloat16RoundingError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for k := 0; k < 2000; k++ {
+		v := float32((rng.Float64()*2 - 1) * 1e6)
+		if v == 0 {
+			continue
+		}
+		back := BFloat16ToFloat32(Float32ToBFloat16(v))
+		rel := math.Abs(float64(back-v)) / math.Abs(float64(v))
+		if rel > 1.0/128 {
+			t.Fatalf("bf16 relative error %v for %v", rel, v)
+		}
+	}
+}
+
+func TestFormatFlipDistanceMatchesFP32(t *testing.T) {
+	w := float32(0.125)
+	bits := FP32.Encode(w)
+	for i := 0; i < 32; i++ {
+		if got, want := FP32.FlipDistance(bits, i), FlipDistance32(w, i); got != want {
+			t.Errorf("bit %d: Format.FlipDistance = %v, FlipDistance32 = %v", i, got, want)
+		}
+	}
+}
+
+func TestFormatFlipDistanceFP16ExponentDominates(t *testing.T) {
+	bits := FP16.Encode(0.04)
+	dExp := FP16.FlipDistance(bits, 14) // exponent MSB
+	dMant := FP16.FlipDistance(bits, 0) // mantissa LSB
+	if dExp <= dMant {
+		t.Errorf("fp16 exponent flip (%v) should dominate mantissa flip (%v)", dExp, dMant)
+	}
+}
+
+func TestEncodeDecodeUnknownFormatPanics(t *testing.T) {
+	bad := Format{Name: "fp8", Bits: 8, ExpBits: 4, MantBits: 3}
+	for _, fn := range []func(){
+		func() { bad.Encode(1) },
+		func() { bad.Decode(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unknown format did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkFlipBit32(b *testing.B) {
+	v := float32(0.123)
+	for i := 0; i < b.N; i++ {
+		v = FlipBit32(v, i&31)
+	}
+	_ = v
+}
+
+func BenchmarkFlipDistance32(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += FlipDistance32(0.123, i&31)
+	}
+	_ = acc
+}

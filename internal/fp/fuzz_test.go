@@ -1,0 +1,108 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets double as property tests: `go test` executes them over
+// the seed corpus; `go test -fuzz=FuzzName` explores further.
+
+func FuzzFloat16RoundTrip(f *testing.F) {
+	for _, seed := range []float32{0, 1, -1, 0.5, 65504, 6e-8, 1e-30, 1e30, 0.333} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v float32) {
+		if v != v { // NaN handled by its own target
+			t.Skip()
+		}
+		h := Float32ToFloat16(v)
+		back := Float16ToFloat32(h)
+
+		switch {
+		case math.Abs(float64(v)) >= 65520: // rounds to Inf under RNE
+			if !math.IsInf(float64(back), 0) && math.Abs(float64(back)) < 65504 {
+				t.Fatalf("overflow of %v decoded to %v", v, back)
+			}
+		case math.Abs(float64(v)) < math.Pow(2, -25): // below half the smallest subnormal
+			if back != 0 && math.Abs(float64(back)) > math.Pow(2, -24) {
+				t.Fatalf("underflow of %v decoded to %v", v, back)
+			}
+		case math.Abs(float64(v)) >= math.Pow(2, -14): // normal range
+			rel := math.Abs(float64(back-v)) / math.Abs(float64(v))
+			if rel > 1.0/1024 {
+				t.Fatalf("relative error %v for %v -> %v", rel, v, back)
+			}
+		default: // subnormal range: absolute error within one subnormal step
+			if math.Abs(float64(back-v)) > math.Pow(2, -24) {
+				t.Fatalf("subnormal error for %v -> %v", v, back)
+			}
+		}
+
+		// Sign preservation (for nonzero results).
+		if back != 0 && math.Signbit(float64(back)) != math.Signbit(float64(v)) {
+			t.Fatalf("sign flipped: %v -> %v", v, back)
+		}
+		// Idempotence: re-encoding the decoded value is stable.
+		if Float32ToFloat16(back) != h {
+			t.Fatalf("re-encode of %v unstable", v)
+		}
+	})
+}
+
+func FuzzBFloat16RoundTrip(f *testing.F) {
+	for _, seed := range []float32{0, 1, -1, 3.14159, 1e38, -1e-38, 255.5} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v float32) {
+		if v != v {
+			t.Skip()
+		}
+		b := Float32ToBFloat16(v)
+		back := BFloat16ToFloat32(b)
+		if math.IsInf(float64(back), 0) {
+			// Rounding 0x7f7fxxxx up can overflow; accept.
+			if math.Abs(float64(v)) < 3.3e38 {
+				t.Fatalf("spurious overflow: %v", v)
+			}
+			return
+		}
+		if v != 0 {
+			rel := math.Abs(float64(back-v)) / math.Abs(float64(v))
+			if rel > 1.0/128 && math.Abs(float64(v)) > 1e-38 {
+				t.Fatalf("relative error %v for %v -> %v", rel, v, back)
+			}
+		}
+		if Float32ToBFloat16(back) != b {
+			t.Fatalf("re-encode of %v unstable", v)
+		}
+	})
+}
+
+func FuzzFlipBitInvolution(f *testing.F) {
+	f.Add(float32(1.5), uint8(3))
+	f.Add(float32(-0.01), uint8(30))
+	f.Fuzz(func(t *testing.T, v float32, bit uint8) {
+		i := int(bit % 32)
+		twice := FlipBit32(FlipBit32(v, i), i)
+		if math.Float32bits(twice) != math.Float32bits(v) {
+			t.Fatalf("flip not involutive at bit %d for %v", i, v)
+		}
+		// Stuck-at is idempotent and flip ≠ identity.
+		if math.Float32bits(FlipBit32(v, i)) == math.Float32bits(v) {
+			t.Fatalf("flip was identity at bit %d for %v", i, v)
+		}
+	})
+}
+
+func FuzzFlipDistanceFinite(f *testing.F) {
+	f.Add(float32(0.5), uint8(30))
+	f.Add(float32(math.MaxFloat32), uint8(0))
+	f.Fuzz(func(t *testing.T, v float32, bit uint8) {
+		i := int(bit % 32)
+		d := FlipDistance32(v, i)
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 || d > MaxDistance {
+			t.Fatalf("distance %v out of [0, MaxDistance] for %v bit %d", d, v, i)
+		}
+	})
+}

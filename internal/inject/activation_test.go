@@ -1,0 +1,154 @@
+package inject
+
+import (
+	"testing"
+
+	"cnnsfi/internal/dataset"
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/models"
+)
+
+func newActInjector(t *testing.T) *ActivationInjector {
+	t.Helper()
+	net := models.SmallCNN(1)
+	ds := dataset.Synthetic(dataset.Config{N: 4, Seed: 1, Size: 16})
+	return NewActivation(net, ds)
+}
+
+func TestActivationSpaceShape(t *testing.T) {
+	inj := newActInjector(t)
+	space := inj.Space()
+	if space.NumLayers() != 4 {
+		t.Fatalf("layers = %d", space.NumLayers())
+	}
+	// conv0 output on 16×16 input: 4×16×16 = 1024 elements × 4 images.
+	if got := inj.LayerElems(0); got != 1024 {
+		t.Errorf("layer 0 elems = %d, want 1024", got)
+	}
+	if got := space.LayerTotal(0); got != 1024*4*32 {
+		t.Errorf("layer 0 population = %d, want %d", got, 1024*4*32)
+	}
+	// fc output: 10 elements.
+	if got := inj.LayerElems(3); got != 10 {
+		t.Errorf("fc elems = %d, want 10", got)
+	}
+}
+
+func TestActivationDecode(t *testing.T) {
+	inj := newActInjector(t)
+	f := faultmodel.Fault{Layer: 0, Param: 1024*2 + 7, Bit: 3, Model: faultmodel.BitFlip}
+	elem, image := inj.Decode(f)
+	if elem != 7 || image != 2 {
+		t.Errorf("decode = (%d, %d), want (7, 2)", elem, image)
+	}
+}
+
+func TestActivationHighBitFlipIsCritical(t *testing.T) {
+	inj := newActInjector(t)
+	space := inj.Space()
+	// Bit-30 flips explode the datapath, but roughly half the corrupted
+	// values go hugely *negative* and are masked by the following ReLU —
+	// so expect a substantial but not overwhelming critical rate. Probe
+	// positions spread across the whole layer to avoid spatial bias.
+	critical := 0
+	const probes = 200
+	n := space.BitLayerTotal(0)
+	for k := 0; k < probes; k++ {
+		j := int64(k) * (n - 1) / (probes - 1)
+		if inj.IsCritical(space.BitLayerFault(0, 30, j)) {
+			critical++
+		}
+	}
+	if critical < probes/10 {
+		t.Errorf("only %d/%d exponent-MSB activation flips critical", critical, probes)
+	}
+	// Final-layer (fc score) corruption is far harder to mask.
+	fcCritical := 0
+	nFC := space.BitLayerTotal(3)
+	for j := int64(0); j < nFC; j++ {
+		if inj.IsCritical(space.BitLayerFault(3, 30, j)) {
+			fcCritical++
+		}
+	}
+	if float64(fcCritical)/float64(nFC) < 0.4 {
+		t.Errorf("fc-score bit-30 critical rate %d/%d, want large", fcCritical, nFC)
+	}
+}
+
+func TestActivationLowBitFlipIsBenign(t *testing.T) {
+	inj := newActInjector(t)
+	for e := 0; e < 30; e++ {
+		f := faultmodel.Fault{Layer: 0, Param: e, Bit: 0, Model: faultmodel.BitFlip}
+		if inj.IsCritical(f) {
+			t.Fatalf("mantissa-LSB activation flip %d critical", e)
+		}
+	}
+}
+
+// TestActivationFaultIsTransient: the golden cache must be untouched, so
+// repeating the same experiment gives the same answer and a following
+// golden-equivalent check still passes.
+func TestActivationFaultIsTransient(t *testing.T) {
+	inj := newActInjector(t)
+	f := faultmodel.Fault{Layer: 1, Param: 5, Bit: 30, Model: faultmodel.BitFlip}
+	first := inj.IsCritical(f)
+	for k := 0; k < 3; k++ {
+		if inj.IsCritical(f) != first {
+			t.Fatal("verdict changed across repetitions (cache corrupted?)")
+		}
+	}
+	// A no-op-free check: golden predictions unchanged.
+	ds := dataset.Synthetic(dataset.Config{N: 4, Seed: 1, Size: 16})
+	for i, s := range ds.Samples {
+		if got := inj.Net.Predict(s.Image); got != inj.golden[i] {
+			t.Fatalf("golden prediction %d drifted", i)
+		}
+	}
+}
+
+func TestActivationRejectsNonFlipModels(t *testing.T) {
+	inj := newActInjector(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("stuck-at on activations did not panic")
+		}
+	}()
+	inj.IsCritical(faultmodel.Fault{Layer: 0, Param: 0, Bit: 0, Model: faultmodel.StuckAt1})
+}
+
+func TestActivationLastLayerFaultFlipsOnlyThatImage(t *testing.T) {
+	inj := newActInjector(t)
+	// A bit-30 flip on an fc output score is confined to one image; the
+	// experiment must still classify deterministically.
+	f := faultmodel.Fault{Layer: 3, Param: 0, Bit: 30, Model: faultmodel.BitFlip}
+	_ = inj.IsCritical(f)
+	if inj.Injections != 1 {
+		t.Errorf("injections = %d", inj.Injections)
+	}
+}
+
+func TestActivationWorksWithCorePlanner(t *testing.T) {
+	// The activation universe must be consumable by the same statistical
+	// machinery (interface-level integration).
+	inj := newActInjector(t)
+	space := inj.Space()
+	if space.Total() <= 0 {
+		t.Fatal("empty activation universe")
+	}
+	f := space.GlobalFault(space.Total() - 1)
+	if err := space.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	_ = inj.IsCritical(f)
+}
+
+func BenchmarkActivationIsCritical(b *testing.B) {
+	net := models.SmallCNN(1)
+	ds := dataset.Synthetic(dataset.Config{N: 4, Seed: 1, Size: 16})
+	inj := NewActivation(net, ds)
+	space := inj.Space()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.IsCritical(space.GlobalFault(int64(i*257) % space.Total()))
+	}
+}

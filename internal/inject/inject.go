@@ -1,0 +1,234 @@
+// Package inject performs inference-based fault injection on a CNN: the
+// role PyTorchFI plays in the paper. A fault (stuck-at or bit-flip on
+// one weight bit) is applied in place, the network is re-evaluated on a
+// fixed test set, the outcome is classified Critical or Non-critical,
+// and the weight is restored.
+//
+// Two optimizations make exhaustive campaigns tractable on a CPU:
+//
+//   - Golden prefix caching: for every test image the activations of
+//     every graph node are computed once; a fault in weight layer l only
+//     invalidates nodes from that layer onward, so each experiment
+//     re-executes only the suffix of the graph.
+//   - Early exit: under the SDC criterion a fault is Critical as soon as
+//     one image's top-1 prediction changes, so critical faults terminate
+//     after the first mismatching image.
+package inject
+
+import (
+	"fmt"
+
+	"cnnsfi/internal/dataset"
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/fp"
+	"cnnsfi/internal/nn"
+	"cnnsfi/internal/tensor"
+)
+
+// Criterion selects how a fault's effect on the test set is classified.
+type Criterion uint8
+
+// Classification criteria.
+const (
+	// SDC marks a fault Critical if any image's top-1 prediction
+	// differs from the golden top-1 (silent data corruption; the
+	// strictest criterion and this package's default).
+	SDC Criterion = iota
+	// AccuracyDrop marks a fault Critical if the top-1 accuracy against
+	// the ground-truth labels decreases relative to the golden run (the
+	// paper's "depending on whether the top-1 prediction is correct").
+	AccuracyDrop
+	// MismatchRate marks a fault Critical if the fraction of images
+	// whose top-1 changed exceeds Injector.Threshold.
+	MismatchRate
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case SDC:
+		return "sdc"
+	case AccuracyDrop:
+		return "accuracy-drop"
+	case MismatchRate:
+		return "mismatch-rate"
+	default:
+		return "unknown"
+	}
+}
+
+// Injector owns a network, a fixed evaluation set, and the golden
+// (fault-free) reference state. It is not safe for concurrent use: a
+// fault mutates the network weights in place.
+type Injector struct {
+	// Net is the network under test.
+	Net *nn.Network
+	// Criterion selects the Critical classification rule (default SDC).
+	Criterion Criterion
+	// Threshold is the mismatch-rate threshold for MismatchRate.
+	Threshold float64
+
+	images []*tensor.Tensor
+	labels []int
+	golden []int              // golden top-1 per image
+	caches [][]*tensor.Tensor // per-image golden node outputs
+	space  faultmodel.Space   // stuck-at universe over Net's layers
+	layers []nn.WeightLayer   // resolved weight layers
+	nodes  []int              // graph node index per weight layer
+	acc    float64            // golden top-1 accuracy
+
+	// Injections counts the experiments run, for reporting.
+	Injections int64
+}
+
+// New builds an injector over the network and evaluation set, computing
+// golden predictions and per-image activation caches. It panics on an
+// empty dataset.
+func New(net *nn.Network, ds *dataset.Dataset) *Injector {
+	if ds.Len() == 0 {
+		panic("inject: empty evaluation set")
+	}
+	inj := &Injector{
+		Net:    net,
+		layers: net.WeightLayers(),
+	}
+	for l := range inj.layers {
+		inj.nodes = append(inj.nodes, net.WeightNodeIndex(l))
+	}
+	inj.space = faultmodel.NewStuckAt(net.LayerParamCounts(), fp.Bits32)
+
+	correct := 0
+	for _, s := range ds.Samples {
+		cache := net.Exec(s.Image)
+		pred := cache[len(cache)-1].ArgMax()
+		inj.images = append(inj.images, s.Image)
+		inj.labels = append(inj.labels, s.Label)
+		inj.golden = append(inj.golden, pred)
+		inj.caches = append(inj.caches, cache)
+		if pred == s.Label {
+			correct++
+		}
+	}
+	inj.acc = float64(correct) / float64(ds.Len())
+	return inj
+}
+
+// Space returns the permanent stuck-at fault universe of the network.
+func (inj *Injector) Space() faultmodel.Space { return inj.space }
+
+// GoldenAccuracy returns the fault-free top-1 accuracy on the
+// evaluation set.
+func (inj *Injector) GoldenAccuracy() float64 { return inj.acc }
+
+// GoldenPredictions returns the fault-free top-1 predictions.
+func (inj *Injector) GoldenPredictions() []int {
+	out := make([]int, len(inj.golden))
+	copy(out, inj.golden)
+	return out
+}
+
+// NumImages returns the evaluation-set size.
+func (inj *Injector) NumImages() int { return len(inj.images) }
+
+// Apply injects the fault into the network weights and returns a restore
+// function that must be called to undo it. Any of the three fault models
+// is accepted (campaigns sample from the stuck-at universe, but the
+// multi-fault extension also applies transient flips to weights). It
+// panics on an invalid fault location.
+func (inj *Injector) Apply(f faultmodel.Fault) (restore func()) {
+	if f.Layer < 0 || f.Layer >= len(inj.layers) {
+		panic(fmt.Sprintf("inject: layer %d out of range", f.Layer))
+	}
+	if f.Param < 0 || f.Param >= inj.layers[f.Layer].NumWeights() {
+		panic(fmt.Sprintf("inject: param %d out of range for layer %d", f.Param, f.Layer))
+	}
+	if f.Bit < 0 || f.Bit >= fp.Bits32 {
+		panic(fmt.Sprintf("inject: bit %d out of range", f.Bit))
+	}
+	w := inj.layers[f.Layer].WeightData()
+	old := w[f.Param]
+	switch f.Model {
+	case faultmodel.StuckAt0:
+		w[f.Param] = fp.ClearBit32(old, f.Bit)
+	case faultmodel.StuckAt1:
+		w[f.Param] = fp.SetBit32(old, f.Bit)
+	case faultmodel.BitFlip:
+		w[f.Param] = fp.FlipBit32(old, f.Bit)
+	default:
+		panic(fmt.Sprintf("inject: unsupported fault model %v", f.Model))
+	}
+	return func() { w[f.Param] = old }
+}
+
+// IsCritical runs one complete fault-injection experiment: apply the
+// fault, re-evaluate the suffix of the network on every image (with
+// early exit under SDC), classify, restore.
+func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
+	restore := inj.Apply(f)
+	defer restore()
+	inj.Injections++
+
+	from := inj.nodes[f.Layer]
+	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))
+
+	mismatches := 0
+	correct := 0
+	for i, img := range inj.images {
+		copy(scratch, inj.caches[i])
+		out := inj.Net.ExecFrom(img, scratch, from)
+		pred := predictChecked(out)
+		if pred != inj.golden[i] {
+			mismatches++
+			if inj.Criterion == SDC {
+				return true
+			}
+		}
+		if pred == inj.labels[i] {
+			correct++
+		}
+	}
+
+	switch inj.Criterion {
+	case SDC:
+		return mismatches > 0
+	case AccuracyDrop:
+		return float64(correct)/float64(len(inj.images)) < inj.acc
+	case MismatchRate:
+		return float64(mismatches)/float64(len(inj.images)) > inj.Threshold
+	default:
+		panic(fmt.Sprintf("inject: unsupported criterion %v", inj.Criterion))
+	}
+}
+
+// MismatchCount applies the fault and returns how many evaluation images
+// change their top-1 prediction (no early exit). Useful for analyses
+// beyond the binary Critical/Non-critical classification.
+func (inj *Injector) MismatchCount(f faultmodel.Fault) int {
+	restore := inj.Apply(f)
+	defer restore()
+	inj.Injections++
+
+	from := inj.nodes[f.Layer]
+	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))
+	mismatches := 0
+	for i, img := range inj.images {
+		copy(scratch, inj.caches[i])
+		out := inj.Net.ExecFrom(img, scratch, from)
+		if predictChecked(out) != inj.golden[i] {
+			mismatches++
+		}
+	}
+	return mismatches
+}
+
+// predictChecked returns the top-1 index, mapping any output containing
+// NaN to -1 (which never equals a golden prediction, so numerical
+// corruption always counts as a mismatch).
+func predictChecked(out *tensor.Tensor) int {
+	for _, v := range out.Data {
+		if v != v {
+			return -1
+		}
+	}
+	return out.ArgMax()
+}

@@ -1,0 +1,89 @@
+package inject
+
+import (
+	"fmt"
+
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/tensor"
+)
+
+// IsCriticalMulti evaluates several simultaneous faults as one
+// experiment — lifting the paper's single-fault assumption to model
+// multi-bit upsets (MBUs: one particle strike corrupting physically
+// adjacent cells) or accumulated permanent defects. All faults are
+// applied together, the network suffix from the earliest affected layer
+// is re-executed, the criterion is evaluated, and every fault is
+// reverted. An empty fault list is never critical.
+func (inj *Injector) IsCriticalMulti(faults []faultmodel.Fault) bool {
+	if len(faults) == 0 {
+		return false
+	}
+	restores := make([]func(), 0, len(faults))
+	earliest := faults[0].Layer
+	for _, f := range faults {
+		restores = append(restores, inj.Apply(f))
+		if f.Layer < earliest {
+			earliest = f.Layer
+		}
+	}
+	defer func() {
+		for i := len(restores) - 1; i >= 0; i-- {
+			restores[i]()
+		}
+	}()
+	inj.Injections++
+
+	from := inj.nodes[earliest]
+	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))
+
+	mismatches := 0
+	correct := 0
+	for i, img := range inj.images {
+		copy(scratch, inj.caches[i])
+		out := inj.Net.ExecFrom(img, scratch, from)
+		pred := predictChecked(out)
+		if pred != inj.golden[i] {
+			mismatches++
+			if inj.Criterion == SDC {
+				return true
+			}
+		}
+		if pred == inj.labels[i] {
+			correct++
+		}
+	}
+	switch inj.Criterion {
+	case SDC:
+		return mismatches > 0
+	case AccuracyDrop:
+		return float64(correct)/float64(len(inj.images)) < inj.acc
+	case MismatchRate:
+		return float64(mismatches)/float64(len(inj.images)) > inj.Threshold
+	default:
+		panic(fmt.Sprintf("inject: unsupported criterion %v", inj.Criterion))
+	}
+}
+
+// AdjacentMBU expands a seed fault into a burst of width adjacent
+// bit-flips within the same weight word — the classic multi-bit-upset
+// pattern of high-density SRAM. Bits past the word's MSB are clipped, so
+// the returned burst may be shorter than width. The seed's model is
+// preserved for the first fault; the neighbours are transient flips.
+func AdjacentMBU(seed faultmodel.Fault, width, bits int) []faultmodel.Fault {
+	if width < 1 {
+		panic("inject: MBU width must be ≥ 1")
+	}
+	out := make([]faultmodel.Fault, 0, width)
+	out = append(out, seed)
+	for k := 1; k < width; k++ {
+		bit := seed.Bit + k
+		if bit >= bits {
+			break
+		}
+		out = append(out, faultmodel.Fault{
+			Layer: seed.Layer, Param: seed.Param, Bit: bit,
+			Model: faultmodel.BitFlip,
+		})
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package inject
+
+import (
+	"testing"
+
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/fp"
+)
+
+func TestIsCriticalMultiEmptyIsBenign(t *testing.T) {
+	inj := newTestInjector(t)
+	if inj.IsCriticalMulti(nil) {
+		t.Error("empty fault list classified critical")
+	}
+}
+
+func TestIsCriticalMultiMatchesSingleForOneFault(t *testing.T) {
+	inj := newTestInjector(t)
+	space := inj.Space()
+	for g := int64(0); g < 100; g++ {
+		f := space.GlobalFault(g * 733 % space.Total())
+		single := inj.IsCritical(f)
+		multi := inj.IsCriticalMulti([]faultmodel.Fault{f})
+		if single != multi {
+			t.Fatalf("fault %v: single %v, multi %v", f, single, multi)
+		}
+	}
+}
+
+func TestIsCriticalMultiRestoresAllWeights(t *testing.T) {
+	inj := newTestInjector(t)
+	before := inj.Net.AllWeights()
+	burst := AdjacentMBU(faultmodel.Fault{
+		Layer: 1, Param: 3, Bit: 27, Model: faultmodel.StuckAt1,
+	}, 4, fp.Bits32)
+	if len(burst) != 4 {
+		t.Fatalf("burst = %v", burst)
+	}
+	inj.IsCriticalMulti(burst)
+	after := inj.Net.AllWeights()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("weight %d not restored", i)
+		}
+	}
+}
+
+// TestMBUDominatesSingleFault: a burst that includes a high exponent bit
+// is at least as critical as the seed alone (monotonicity in corruption
+// is not a theorem — masking exists — but holds overwhelmingly; check in
+// aggregate).
+func TestMBUAggregateRates(t *testing.T) {
+	inj := newTestInjector(t)
+	singleCritical, burstCritical := 0, 0
+	const probes = 60
+	for k := 0; k < probes; k++ {
+		seed := faultmodel.Fault{Layer: 0, Param: k % 108, Bit: 28, Model: faultmodel.BitFlip}
+		if inj.IsCritical(seed) {
+			singleCritical++
+		}
+		// A 3-bit burst spanning bits 28-30 reaches the exponent MSB.
+		if inj.IsCriticalMulti(AdjacentMBU(seed, 3, fp.Bits32)) {
+			burstCritical++
+		}
+	}
+	if burstCritical < singleCritical {
+		t.Errorf("3-bit MBU rate %d/%d below single-bit rate %d/%d",
+			burstCritical, probes, singleCritical, probes)
+	}
+	if burstCritical == 0 {
+		t.Error("bursts through bit 30 should produce criticals")
+	}
+}
+
+func TestAdjacentMBUClipsAtWordEnd(t *testing.T) {
+	seed := faultmodel.Fault{Layer: 0, Param: 0, Bit: 30, Model: faultmodel.BitFlip}
+	burst := AdjacentMBU(seed, 4, fp.Bits32)
+	if len(burst) != 2 { // bits 30 and 31 only
+		t.Fatalf("burst = %v", burst)
+	}
+	if burst[1].Bit != 31 || burst[1].Model != faultmodel.BitFlip {
+		t.Errorf("neighbour = %v", burst[1])
+	}
+}
+
+func TestAdjacentMBUPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 0 did not panic")
+		}
+	}()
+	AdjacentMBU(faultmodel.Fault{}, 0, 32)
+}
+
+func TestApplyAcceptsBitFlip(t *testing.T) {
+	inj := newTestInjector(t)
+	w := inj.Net.WeightLayers()[0].WeightData()
+	before := w[0]
+	restore := inj.Apply(faultmodel.Fault{Layer: 0, Param: 0, Bit: 5, Model: faultmodel.BitFlip})
+	if w[0] != fp.FlipBit32(before, 5) {
+		t.Error("flip not applied")
+	}
+	restore()
+	if w[0] != before {
+		t.Error("flip not restored")
+	}
+}

@@ -1,0 +1,115 @@
+package models
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"cnnsfi/internal/nn"
+)
+
+// Checkpoint format: a small binary container for a network's injectable
+// weights (batch-normalization statistics are regenerable from the model
+// seed and are not part of the fault population, so they are not saved).
+//
+//	magic "CNNW" | version u32 | layer count u32
+//	per layer: weight count u32 | weights []f32 (little endian)
+//	crc32 (IEEE) of everything before it
+const (
+	checkpointMagic   = "CNNW"
+	checkpointVersion = 1
+)
+
+// SaveWeights writes the network's injectable weights to w.
+func SaveWeights(net *nn.Network, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := out.Write([]byte(checkpointMagic)); err != nil {
+		return err
+	}
+	layers := net.WeightLayers()
+	if err := binary.Write(out, binary.LittleEndian, uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, uint32(len(layers))); err != nil {
+		return err
+	}
+	for _, l := range layers {
+		data := l.WeightData()
+		if err := binary.Write(out, binary.LittleEndian, uint32(len(data))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := out.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores weights saved by SaveWeights into a network with
+// the identical topology (layer count and per-layer sizes must match).
+func LoadWeights(net *nn.Network, r io.Reader) error {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	in := io.TeeReader(br, crc)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(in, magic); err != nil {
+		return fmt.Errorf("models: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("models: bad checkpoint magic %q", magic)
+	}
+	var version, layerCount uint32
+	if err := binary.Read(in, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("models: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(in, binary.LittleEndian, &layerCount); err != nil {
+		return err
+	}
+	layers := net.WeightLayers()
+	if int(layerCount) != len(layers) {
+		return fmt.Errorf("models: checkpoint has %d layers, network has %d", layerCount, len(layers))
+	}
+	for li, l := range layers {
+		var n uint32
+		if err := binary.Read(in, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		data := l.WeightData()
+		if int(n) != len(data) {
+			return fmt.Errorf("models: layer %d has %d weights in checkpoint, %d in network", li, n, len(data))
+		}
+		buf := make([]byte, 4*len(data))
+		if _, err := io.ReadFull(in, buf); err != nil {
+			return fmt.Errorf("models: reading layer %d weights: %w", li, err)
+		}
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return fmt.Errorf("models: reading checksum: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("models: checkpoint checksum mismatch (corrupted file?)")
+	}
+	return nil
+}

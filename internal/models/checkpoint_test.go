@@ -1,0 +1,93 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := SmallCNN(1)
+	var buf bytes.Buffer
+	if err := SaveWeights(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := SmallCNN(99) // different weights, same topology
+	before := dst.AllWeights()
+	want := src.AllWeights()
+	same := true
+	for i := range before {
+		if before[i] != want[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("test setup broken: nets already identical")
+	}
+
+	if err := LoadWeights(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := dst.AllWeights()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("weight %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsTopologyMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveWeights(SmallCNN(1), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(ResNet20(1), &buf); err == nil {
+		t.Error("mismatched topology accepted")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveWeights(SmallCNN(1), &buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)/2] ^= 0xff
+	if err := LoadWeights(SmallCNN(2), bytes.NewReader(corrupted)); err == nil {
+		t.Error("corrupted checkpoint accepted")
+	}
+
+	// Truncated stream.
+	if err := LoadWeights(SmallCNN(2), bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+
+	// Wrong magic.
+	bad := append([]byte("XXXX"), data[4:]...)
+	if err := LoadWeights(SmallCNN(2), bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestCheckpointPreservesPredictions(t *testing.T) {
+	src := SmallCNN(1)
+	var buf bytes.Buffer
+	if err := SaveWeights(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := SmallCNN(1) // same seed: same BN stats, weights to be replaced
+	if err := LoadWeights(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Same weights + same BN statistics → identical behaviour.
+	wa, wb := src.AllWeights(), dst.AllWeights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("weights differ after reload")
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package models
+
+import (
+	"testing"
+
+	"cnnsfi/internal/nn"
+	"cnnsfi/internal/stats"
+	"cnnsfi/internal/tensor"
+)
+
+// TestResNet20MatchesTableI pins the per-layer parameter counts to the
+// paper's Table I (with the documented layer-11 typo: the paper lists
+// 9,226 where the standard architecture has 9,216).
+func TestResNet20MatchesTableI(t *testing.T) {
+	n := ResNet20(1)
+	want := []int{
+		432,
+		2304, 2304, 2304, 2304, 2304, 2304,
+		4608,
+		9216, 9216, 9216, 9216, 9216, // paper's L11 reads 9,226 (typo)
+		18432,
+		36864, 36864, 36864, 36864, 36864,
+		640,
+	}
+	got := n.LayerParamCounts()
+	if len(got) != 20 {
+		t.Fatalf("ResNet-20 has %d weight layers, want 20", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("layer %d: %d params, want %d", i, got[i], want[i])
+		}
+	}
+	if total := n.TotalWeights(); total != 268336 {
+		t.Errorf("total params = %d, want 268,336 (paper lists 268,346 incl. typo)", total)
+	}
+}
+
+// TestMobileNetV2MatchesTableII pins the aggregate figures to Table II:
+// 54 weight layers and 2,203,584 parameters (hence an exhaustive
+// permanent-fault population of 141,029,376).
+func TestMobileNetV2MatchesTableII(t *testing.T) {
+	n := MobileNetV2(1)
+	if got := n.NumWeightLayers(); got != 54 {
+		t.Fatalf("MobileNetV2 has %d weight layers, want 54", got)
+	}
+	if got := n.TotalWeights(); got != 2203584 {
+		t.Fatalf("MobileNetV2 has %d params, want 2,203,584", got)
+	}
+	if pop := int64(n.TotalWeights()) * 32 * 2; pop != 141029376 {
+		t.Errorf("fault population = %d, want 141,029,376", pop)
+	}
+}
+
+func TestResNet20ForwardShape(t *testing.T) {
+	n := ResNet20(1)
+	x := tensor.New(3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = float32(i%17)*0.05 - 0.4
+	}
+	out := n.Forward(x)
+	if out.Len() != 10 {
+		t.Fatalf("output length = %d, want 10", out.Len())
+	}
+	for _, v := range out.Data {
+		if v != v {
+			t.Fatal("forward produced NaN")
+		}
+	}
+}
+
+func TestSmallCNNForwardShape(t *testing.T) {
+	n := SmallCNN(1)
+	x := tensor.New(3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(i%13)*0.1 - 0.6
+	}
+	out := n.Forward(x)
+	if out.Len() != 10 {
+		t.Fatalf("output length = %d, want 10", out.Len())
+	}
+}
+
+func TestSmallCNNParamCounts(t *testing.T) {
+	n := SmallCNN(1)
+	want := []int{108, 288, 1152, 160}
+	got := n.LayerParamCounts()
+	if len(got) != len(want) {
+		t.Fatalf("weight layers = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("layer %d: %d params, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMobileNetV2ForwardShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MobileNetV2 forward is slow on one core")
+	}
+	n := MobileNetV2(1)
+	x := tensor.New(3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = float32(i%11)*0.08 - 0.4
+	}
+	out := n.Forward(x)
+	if out.Len() != 10 {
+		t.Fatalf("output length = %d, want 10", out.Len())
+	}
+	for _, v := range out.Data {
+		if v != v {
+			t.Fatal("forward produced NaN")
+		}
+	}
+}
+
+func TestBuildRegistry(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := Build(name, 1); err != nil {
+			t.Errorf("Build(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := Build("vgg16", 1); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestWeightsAreDeterministic(t *testing.T) {
+	a := ResNet20(7)
+	b := ResNet20(7)
+	wa, wb := a.AllWeights(), b.AllWeights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	c := ResNet20(8)
+	wc := c.AllWeights()
+	same := true
+	for i := range wa {
+		if wa[i] != wc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weights")
+	}
+}
+
+// TestWeightDistributionIsTrainedLike checks the properties the
+// data-aware analysis depends on: near-zero mean, small per-layer spread,
+// and |w| < 1 for essentially all weights (which drives the exponent-bit
+// frequency pattern of Fig. 3).
+func TestWeightDistributionIsTrainedLike(t *testing.T) {
+	n := ResNet20(1)
+	w := n.AllWeights()
+	mean := stats.MeanFloat32(w)
+	if mean > 0.01 || mean < -0.01 {
+		t.Errorf("weight mean = %v, want ≈ 0", mean)
+	}
+	std := stats.StdDevFloat32(w)
+	if std < 0.005 || std > 0.3 {
+		t.Errorf("weight std = %v, implausible for a trained CNN", std)
+	}
+	big := 0
+	for _, v := range w {
+		if v >= 1 || v <= -1 {
+			big++
+		}
+	}
+	if frac := float64(big) / float64(len(w)); frac > 0.001 {
+		t.Errorf("%.4f%% of weights have |w| ≥ 1, want ≈ 0", frac*100)
+	}
+}
+
+func BenchmarkResNet20Forward(b *testing.B) {
+	n := ResNet20(1)
+	x := tensor.New(3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) * 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(x)
+	}
+}
+
+func BenchmarkSmallCNNForward(b *testing.B) {
+	n := SmallCNN(1)
+	x := tensor.New(3, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(x)
+	}
+}
+
+// TestResNetFamilyLayerCounts checks the 6n+2 weight-layer rule and the
+// conv/fc parameter counts of the CIFAR ResNet family (bias-free convs,
+// option-A shortcuts, 640-weight classifier).
+func TestResNetFamilyLayerCounts(t *testing.T) {
+	tests := []struct {
+		name   string
+		build  func(int64) *nn.Network
+		layers int
+		params int
+	}{
+		{"resnet20", ResNet20, 20, 268336},
+		{"resnet32", ResNet32, 32, 461872},
+		{"resnet44", ResNet44, 44, 655408},
+		{"resnet56", ResNet56, 56, 848944},
+	}
+	for _, tt := range tests {
+		net := tt.build(1)
+		if got := net.NumWeightLayers(); got != tt.layers {
+			t.Errorf("%s: %d weight layers, want %d", tt.name, got, tt.layers)
+		}
+		if got := net.TotalWeights(); got != tt.params {
+			t.Errorf("%s: %d params, want %d", tt.name, got, tt.params)
+		}
+		if net.NetName != tt.name {
+			t.Errorf("name = %q, want %q", net.NetName, tt.name)
+		}
+	}
+	// Each family member adds 6 weight layers per extra block.
+	if ResNetN(4, 1).NumWeightLayers() != 26 {
+		t.Error("ResNetN(4) should have 26 weight layers")
+	}
+}
+
+func TestResNetNPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ResNetN(0) did not panic")
+		}
+	}()
+	ResNetN(0, 1)
+}
+
+func TestResNet32ForwardShape(t *testing.T) {
+	n := ResNet32(1)
+	x := tensor.New(3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = float32(i%19)*0.04 - 0.3
+	}
+	if out := n.Forward(x); out.Len() != 10 {
+		t.Fatalf("output length = %d", out.Len())
+	}
+}

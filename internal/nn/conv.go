@@ -1,0 +1,244 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"cnnsfi/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution with optional grouping (Groups == InC ==
+// OutC gives a depthwise convolution, as used by MobileNetV2). Weights
+// are stored in OIHW order: [OutC, InC/Groups, KH, KW]. The CIFAR
+// topologies of the paper use bias-free convolutions (batch normalization
+// follows every convolution), so Bias may be nil.
+type Conv2D struct {
+	Label  string
+	InC    int
+	OutC   int
+	KH, KW int
+	Stride int
+	Pad    int
+	Groups int
+	// W is the flat OIHW weight storage; this is the fault target.
+	W []float32
+	// Bias is the optional per-output-channel bias.
+	Bias []float32
+	// Algo selects the convolution implementation (default ConvAuto).
+	Algo ConvAlgo
+}
+
+// NewConv2D allocates a zero-weight convolution. groups must divide both
+// inC and outC.
+func NewConv2D(label string, inC, outC, k, stride, pad, groups int) *Conv2D {
+	if groups <= 0 || inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("nn: conv %q: groups %d incompatible with %d→%d", label, groups, inC, outC))
+	}
+	return &Conv2D{
+		Label: label, InC: inC, OutC: outC, KH: k, KW: k,
+		Stride: stride, Pad: pad, Groups: groups,
+		W: make([]float32, outC*(inC/groups)*k*k),
+	}
+}
+
+// Name returns the layer label.
+func (c *Conv2D) Name() string { return c.Label }
+
+// WeightData returns the flat OIHW weight slice (the fault target).
+func (c *Conv2D) WeightData() []float32 { return c.W }
+
+// NumWeights returns the weight count, e.g. 432 for the paper's
+// ResNet-20 layer 0 (3×3×3→16).
+func (c *Conv2D) NumWeights() int { return len(c.W) }
+
+// OutSize returns the spatial output size for an input of size in.
+func (c *Conv2D) OutSize(in int) int { return (in+2*c.Pad-c.KH)/c.Stride + 1 }
+
+// Forward computes the convolution of a CHW input.
+func (c *Conv2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	if x.Shape[0] != c.InC {
+		panic(fmt.Sprintf("nn: conv %q expects %d input channels, got %d", c.Label, c.InC, x.Shape[0]))
+	}
+	h, w := x.Shape[1], x.Shape[2]
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	if c.useIm2col(oh, ow) {
+		return c.forwardIm2col(x)
+	}
+	out := tensor.New(c.OutC, oh, ow)
+
+	icg := c.InC / c.Groups  // input channels per group
+	ocg := c.OutC / c.Groups // output channels per group
+	ksize := icg * c.KH * c.KW
+
+	for oc := 0; oc < c.OutC; oc++ {
+		g := oc / ocg
+		wBase := oc * ksize
+		outPlane := out.Data[oc*oh*ow : (oc+1)*oh*ow]
+		var bias float32
+		if c.Bias != nil {
+			bias = c.Bias[oc]
+		}
+		for icLocal := 0; icLocal < icg; icLocal++ {
+			ic := g*icg + icLocal
+			inPlane := x.Data[ic*h*w : (ic+1)*h*w]
+			wOff := wBase + icLocal*c.KH*c.KW
+			for ky := 0; ky < c.KH; ky++ {
+				for kx := 0; kx < c.KW; kx++ {
+					wv := c.W[wOff+ky*c.KW+kx]
+					if wv == 0 {
+						continue
+					}
+					// Valid output rows for this kernel tap.
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						rowIn := inPlane[iy*w : iy*w+w]
+						rowOut := outPlane[oy*ow : oy*ow+ow]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							rowOut[ox] += wv * rowIn[ix]
+						}
+					}
+				}
+			}
+		}
+		if bias != 0 {
+			for i := range outPlane {
+				outPlane[i] += bias
+			}
+		}
+	}
+	return out
+}
+
+// Linear is a fully-connected layer; weights are stored row-major
+// [Out, In]. The paper's ResNet-20 final layer (64→10, bias-free) has
+// 640 weights.
+type Linear struct {
+	Label string
+	In    int
+	Out   int
+	// W is the flat row-major weight storage (the fault target).
+	W []float32
+	// Bias is the optional per-output bias.
+	Bias []float32
+}
+
+// NewLinear allocates a zero-weight fully-connected layer.
+func NewLinear(label string, in, out int) *Linear {
+	return &Linear{Label: label, In: in, Out: out, W: make([]float32, in*out)}
+}
+
+// Name returns the layer label.
+func (l *Linear) Name() string { return l.Label }
+
+// WeightData returns the flat weight slice (the fault target).
+func (l *Linear) WeightData() []float32 { return l.W }
+
+// NumWeights returns In·Out.
+func (l *Linear) NumWeights() int { return len(l.W) }
+
+// Forward computes W·x (+ bias) for a rank-1 input of length In.
+func (l *Linear) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	if x.Len() != l.In {
+		panic(fmt.Sprintf("nn: linear %q expects %d inputs, got %d", l.Label, l.In, x.Len()))
+	}
+	out := tensor.New(l.Out)
+	for o := 0; o < l.Out; o++ {
+		row := l.W[o*l.In : (o+1)*l.In]
+		var sum float32
+		for i, v := range x.Data {
+			sum += row[i] * v
+		}
+		if l.Bias != nil {
+			sum += l.Bias[o]
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// BatchNorm2D applies per-channel inference-mode batch normalization:
+// y = γ·(x − mean)/sqrt(var + ε) + β. Its parameters are not part of the
+// paper's fault population (only conv/linear weights are targeted), so it
+// intentionally does not implement WeightLayer.
+type BatchNorm2D struct {
+	Label string
+	C     int
+	Gamma []float32
+	Beta  []float32
+	Mean  []float32
+	Var   []float32
+	Eps   float32
+
+	// scale/shift are the folded per-channel affine coefficients,
+	// computed lazily from the statistics above.
+	scale, shift []float32
+}
+
+// NewBatchNorm2D allocates an identity batch normalization (γ=1, β=0,
+// mean=0, var=1).
+func NewBatchNorm2D(label string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		Label: label, C: c, Eps: 1e-5,
+		Gamma: make([]float32, c), Beta: make([]float32, c),
+		Mean: make([]float32, c), Var: make([]float32, c),
+	}
+	for i := 0; i < c; i++ {
+		bn.Gamma[i] = 1
+		bn.Var[i] = 1
+	}
+	return bn
+}
+
+// Name returns the layer label.
+func (b *BatchNorm2D) Name() string { return b.Label }
+
+// Refold recomputes the folded scale/shift coefficients; call after
+// mutating Gamma/Beta/Mean/Var.
+func (b *BatchNorm2D) Refold() {
+	b.scale = make([]float32, b.C)
+	b.shift = make([]float32, b.C)
+	for i := 0; i < b.C; i++ {
+		inv := 1 / sqrt32(b.Var[i]+b.Eps)
+		b.scale[i] = b.Gamma[i] * inv
+		b.shift[i] = b.Beta[i] - b.Gamma[i]*b.Mean[i]*inv
+	}
+}
+
+// Forward applies the folded affine transform per channel.
+func (b *BatchNorm2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	if b.scale == nil {
+		b.Refold()
+	}
+	if x.Shape[0] != b.C {
+		panic(fmt.Sprintf("nn: batchnorm %q expects %d channels, got %d", b.Label, b.C, x.Shape[0]))
+	}
+	out := tensor.New(x.Shape...)
+	plane := x.Shape[1] * x.Shape[2]
+	for c := 0; c < b.C; c++ {
+		s, sh := b.scale[c], b.shift[c]
+		in := x.Data[c*plane : (c+1)*plane]
+		o := out.Data[c*plane : (c+1)*plane]
+		for i, v := range in {
+			o[i] = s*v + sh
+		}
+	}
+	return out
+}
+
+func sqrt32(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(v)))
+}

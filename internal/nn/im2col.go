@@ -1,0 +1,95 @@
+package nn
+
+import "cnnsfi/internal/tensor"
+
+// ConvAlgo selects a convolution implementation.
+type ConvAlgo uint8
+
+// Convolution algorithms.
+const (
+	// ConvAuto picks per call: im2col for non-grouped convolutions with
+	// enough work to amortize the gather, direct otherwise.
+	ConvAuto ConvAlgo = iota
+	// ConvDirect is the straightforward loop nest.
+	ConvDirect
+	// ConvIm2col gathers input patches into a dense matrix and reduces
+	// the convolution to row-times-matrix products (better locality, no
+	// per-element padding checks in the inner loop).
+	ConvIm2col
+)
+
+// forwardIm2col computes the convolution by patch gathering. Only valid
+// for Groups == 1.
+func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
+	h, w := x.Shape[1], x.Shape[2]
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	cols := oh * ow
+	ksize := c.InC * c.KH * c.KW
+
+	// Gather: buf[k*cols + col] = x[patch k of output position col].
+	buf := make([]float32, ksize*cols)
+	k := 0
+	for ic := 0; ic < c.InC; ic++ {
+		plane := x.Data[ic*h*w : (ic+1)*h*w]
+		for ky := 0; ky < c.KH; ky++ {
+			for kx := 0; kx < c.KW; kx++ {
+				row := buf[k*cols : (k+1)*cols]
+				col := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= h {
+						col += ow
+						continue
+					}
+					src := plane[iy*w : iy*w+w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix >= 0 && ix < w {
+							row[col] = src[ix]
+						}
+						col++
+					}
+				}
+				k++
+			}
+		}
+	}
+
+	// GEMM: out[oc] = W[oc] · buf.
+	out := tensor.New(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		wRow := c.W[oc*ksize : (oc+1)*ksize]
+		dst := out.Data[oc*cols : (oc+1)*cols]
+		for kk, wv := range wRow {
+			if wv == 0 {
+				continue
+			}
+			src := buf[kk*cols : (kk+1)*cols]
+			for i, v := range src {
+				dst[i] += wv * v
+			}
+		}
+		if c.Bias != nil {
+			b := c.Bias[oc]
+			for i := range dst {
+				dst[i] += b
+			}
+		}
+	}
+	return out
+}
+
+// useIm2col is the ConvAuto heuristic: grouped (depthwise) convolutions
+// always run direct; otherwise im2col pays off once there is enough
+// arithmetic per gathered element.
+func (c *Conv2D) useIm2col(oh, ow int) bool {
+	switch c.Algo {
+	case ConvDirect:
+		return false
+	case ConvIm2col:
+		return c.Groups == 1
+	default:
+		return c.Groups == 1 && c.OutC >= 8 && oh*ow >= 64
+	}
+}

@@ -1,0 +1,236 @@
+// Package nn implements the CNN inference (and, together with package
+// train, training) substrate: convolution, batch normalization, ReLU /
+// ReLU6, residual addition, pooling, and fully-connected layers, composed
+// into a directed acyclic graph with named, injectable weight layers.
+//
+// The fault-injection methodology of the paper targets the static
+// parameters (weights) of convolutional and fully-connected layers; those
+// layers implement WeightLayer and expose their raw float32 storage so
+// that the injector can mutate single bits in place and revert them.
+package nn
+
+import (
+	"fmt"
+
+	"cnnsfi/internal/tensor"
+)
+
+// Layer transforms a single CHW activation tensor. Implementations must
+// be safe for repeated calls; they may not retain the input.
+type Layer interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Forward applies the layer to one input (layers with multiple
+	// inputs, such as Add, receive them in order).
+	Forward(inputs ...*tensor.Tensor) *tensor.Tensor
+}
+
+// WeightLayer is a layer whose static parameters are part of the fault
+// population (convolutions and fully-connected layers in the paper).
+type WeightLayer interface {
+	Layer
+	// WeightData returns the raw backing slice of the layer's weights.
+	// Mutating an element injects a fault; the injector saves and
+	// restores values around each experiment.
+	WeightData() []float32
+	// NumWeights returns len(WeightData()).
+	NumWeights() int
+}
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct{ Label string }
+
+// Name returns the layer label.
+func (r *ReLU) Name() string { return r.Label }
+
+// Forward applies the rectifier.
+func (r *ReLU) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// ReLU6 applies min(max(0, x), 6), the activation used by MobileNetV2.
+type ReLU6 struct{ Label string }
+
+// Name returns the layer label.
+func (r *ReLU6) Name() string { return r.Label }
+
+// Forward applies the clipped rectifier.
+func (r *ReLU6) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		switch {
+		case v <= 0:
+		case v >= 6:
+			out.Data[i] = 6
+		default:
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Add sums two activation tensors of identical shape (residual join).
+type Add struct{ Label string }
+
+// Name returns the layer label.
+func (a *Add) Name() string { return a.Label }
+
+// Forward returns inputs[0] + inputs[1]. It panics on shape mismatch.
+func (a *Add) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x, y := inputs[0], inputs[1]
+	if !tensor.SameShape(x, y) {
+		panic(fmt.Sprintf("nn: Add shape mismatch %v vs %v", x.Shape, y.Shape))
+	}
+	out := tensor.New(x.Shape...)
+	for i := range x.Data {
+		out.Data[i] = x.Data[i] + y.Data[i]
+	}
+	return out
+}
+
+// GlobalAvgPool reduces a CHW tensor to a length-C vector by averaging
+// each channel plane.
+type GlobalAvgPool struct{ Label string }
+
+// Name returns the layer label.
+func (g *GlobalAvgPool) Name() string { return g.Label }
+
+// Forward averages over the spatial dimensions.
+func (g *GlobalAvgPool) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := tensor.New(c)
+	area := float32(h * w)
+	for ci := 0; ci < c; ci++ {
+		var sum float32
+		plane := x.Data[ci*h*w : (ci+1)*h*w]
+		for _, v := range plane {
+			sum += v
+		}
+		out.Data[ci] = sum / area
+	}
+	return out
+}
+
+// AvgPool2D averages non-overlapping or strided k×k windows.
+type AvgPool2D struct {
+	Label  string
+	Kernel int
+	Stride int
+}
+
+// Name returns the layer label.
+func (p *AvgPool2D) Name() string { return p.Label }
+
+// Forward applies average pooling with implicit valid padding.
+func (p *AvgPool2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h-p.Kernel)/p.Stride + 1
+	ow := (w-p.Kernel)/p.Stride + 1
+	out := tensor.New(c, oh, ow)
+	norm := float32(p.Kernel * p.Kernel)
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var sum float32
+				for ky := 0; ky < p.Kernel; ky++ {
+					for kx := 0; kx < p.Kernel; kx++ {
+						sum += x.At3(ci, oy*p.Stride+ky, ox*p.Stride+kx)
+					}
+				}
+				out.Set3(ci, oy, ox, sum/norm)
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D takes the maximum over strided k×k windows.
+type MaxPool2D struct {
+	Label  string
+	Kernel int
+	Stride int
+}
+
+// Name returns the layer label.
+func (p *MaxPool2D) Name() string { return p.Label }
+
+// Forward applies max pooling with implicit valid padding.
+func (p *MaxPool2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h-p.Kernel)/p.Stride + 1
+	ow := (w-p.Kernel)/p.Stride + 1
+	out := tensor.New(c, oh, ow)
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := x.At3(ci, oy*p.Stride, ox*p.Stride)
+				for ky := 0; ky < p.Kernel; ky++ {
+					for kx := 0; kx < p.Kernel; kx++ {
+						if v := x.At3(ci, oy*p.Stride+ky, ox*p.Stride+kx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set3(ci, oy, ox, best)
+			}
+		}
+	}
+	return out
+}
+
+// Flatten reshapes any tensor into a vector.
+type Flatten struct{ Label string }
+
+// Name returns the layer label.
+func (f *Flatten) Name() string { return f.Label }
+
+// Forward returns a rank-1 view-copy of the input.
+func (f *Flatten) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	out := tensor.New(x.Len())
+	copy(out.Data, x.Data)
+	return out
+}
+
+// ShortcutA implements the parameter-free "option A" residual shortcut of
+// the original CIFAR ResNet: spatial subsampling by Stride and zero-
+// padding the channel dimension up to OutC. It has no weights, so it
+// contributes nothing to the fault population (matching the paper's
+// ResNet-20 layer table, which lists only the 19 convolutions and the
+// final fully-connected layer).
+type ShortcutA struct {
+	Label  string
+	Stride int
+	OutC   int
+}
+
+// Name returns the layer label.
+func (s *ShortcutA) Name() string { return s.Label }
+
+// Forward subsamples spatially and zero-pads channels.
+func (s *ShortcutA) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h + s.Stride - 1) / s.Stride
+	ow := (w + s.Stride - 1) / s.Stride
+	out := tensor.New(s.OutC, oh, ow)
+	for ci := 0; ci < c && ci < s.OutC; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				out.Set3(ci, oy, ox, x.At3(ci, oy*s.Stride, ox*s.Stride))
+			}
+		}
+	}
+	return out
+}

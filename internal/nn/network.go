@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cnnsfi/internal/tensor"
+)
+
+// InputID is the pseudo-node index denoting the network input.
+const InputID = -1
+
+// Node is one step of a network's dataflow graph. Inputs refer to the
+// outputs of earlier nodes by index (or InputID for the network input),
+// so the node list is a topological order by construction.
+type Node struct {
+	Layer  Layer
+	Inputs []int
+}
+
+// Network is a feed-forward CNN expressed as a DAG of layers. The last
+// node's output is the network output (class scores).
+type Network struct {
+	// NetName is a human-readable model identifier such as "resnet20".
+	NetName string
+	// Nodes are the dataflow steps in topological order.
+	Nodes []Node
+
+	weightNodes []int // node indices of WeightLayers, in graph order
+}
+
+// NewNetwork creates an empty network with the given name.
+func NewNetwork(name string) *Network { return &Network{NetName: name} }
+
+// Add appends a layer fed by the given producer node indices and returns
+// the new node's index. Passing no inputs wires the layer to the most
+// recently added node (or the network input for the first node).
+func (n *Network) Add(l Layer, inputs ...int) int {
+	if len(inputs) == 0 {
+		inputs = []int{len(n.Nodes) - 1} // previous node; -1 = InputID for first
+	}
+	for _, in := range inputs {
+		if in < InputID || in >= len(n.Nodes) {
+			panic(fmt.Sprintf("nn: node %q references invalid input %d", l.Name(), in))
+		}
+	}
+	id := len(n.Nodes)
+	n.Nodes = append(n.Nodes, Node{Layer: l, Inputs: inputs})
+	if _, ok := l.(WeightLayer); ok {
+		n.weightNodes = append(n.weightNodes, id)
+	}
+	return id
+}
+
+// WeightLayers returns the injectable layers in graph order. Their
+// position in this slice is the "layer index" of the paper's tables
+// (e.g. ResNet-20 layer 0 is the first convolution, layer 19 the final
+// fully-connected layer).
+func (n *Network) WeightLayers() []WeightLayer {
+	out := make([]WeightLayer, len(n.weightNodes))
+	for i, id := range n.weightNodes {
+		out[i] = n.Nodes[id].Layer.(WeightLayer)
+	}
+	return out
+}
+
+// WeightNodeIndex returns the graph node index of weight layer l
+// (paper's layer numbering).
+func (n *Network) WeightNodeIndex(l int) int { return n.weightNodes[l] }
+
+// NumWeightLayers returns the number of injectable layers (20 for
+// ResNet-20, 54 for MobileNetV2).
+func (n *Network) NumWeightLayers() int { return len(n.weightNodes) }
+
+// TotalWeights returns the total parameter count of all injectable
+// layers (268,336 for our ResNet-20; the paper lists 268,346, a +10
+// discrepancy documented in DESIGN.md).
+func (n *Network) TotalWeights() int {
+	total := 0
+	for _, id := range n.weightNodes {
+		total += n.Nodes[id].Layer.(WeightLayer).NumWeights()
+	}
+	return total
+}
+
+// Forward runs the whole network on one CHW input and returns the output
+// scores.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	outs := n.Exec(x)
+	return outs[len(outs)-1]
+}
+
+// Exec runs the network and returns every node's output (index-aligned
+// with Nodes). The returned slice is a fresh allocation and can be kept
+// as a prefix cache for ExecFrom.
+func (n *Network) Exec(x *tensor.Tensor) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(n.Nodes))
+	n.execRange(x, outs, 0)
+	return outs
+}
+
+// ExecFrom re-executes the graph starting at node from, reusing the
+// cached outputs of earlier nodes. cache must be a slice previously
+// produced by Exec (or ExecFrom) for the same input x; nodes ≥ from are
+// overwritten. It returns the network output.
+//
+// This is the prefix-caching optimization of the fault injector: a fault
+// in weight layer l only invalidates nodes ≥ WeightNodeIndex(l), so the
+// activations feeding that layer need not be recomputed for every fault.
+func (n *Network) ExecFrom(x *tensor.Tensor, cache []*tensor.Tensor, from int) *tensor.Tensor {
+	if len(cache) != len(n.Nodes) {
+		panic(fmt.Sprintf("nn: cache length %d does not match %d nodes", len(cache), len(n.Nodes)))
+	}
+	if from < 0 {
+		from = 0
+	}
+	n.execRange(x, cache, from)
+	return cache[len(cache)-1]
+}
+
+func (n *Network) execRange(x *tensor.Tensor, outs []*tensor.Tensor, from int) {
+	for i := from; i < len(n.Nodes); i++ {
+		node := n.Nodes[i]
+		ins := make([]*tensor.Tensor, len(node.Inputs))
+		for j, src := range node.Inputs {
+			if src == InputID {
+				ins[j] = x
+			} else {
+				ins[j] = outs[src]
+			}
+		}
+		outs[i] = node.Layer.Forward(ins...)
+	}
+}
+
+// Predict returns the top-1 class index for one input.
+func (n *Network) Predict(x *tensor.Tensor) int {
+	return n.Forward(x).ArgMax()
+}
+
+// LayerParamCounts returns the weight count of each injectable layer in
+// order — the "Parameters" column of the paper's Table I.
+func (n *Network) LayerParamCounts() []int {
+	layers := n.WeightLayers()
+	out := make([]int, len(layers))
+	for i, l := range layers {
+		out[i] = l.NumWeights()
+	}
+	return out
+}
+
+// AllWeights returns a snapshot copy of every injectable weight in layer
+// order, used by the data-aware weight-distribution analysis.
+func (n *Network) AllWeights() []float32 {
+	out := make([]float32, 0, n.TotalWeights())
+	for _, l := range n.WeightLayers() {
+		out = append(out, l.WeightData()...)
+	}
+	return out
+}
+
+// Softmax converts scores to probabilities in a numerically stable way.
+func Softmax(scores *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(scores.Shape...)
+	if scores.Len() == 0 {
+		return out
+	}
+	max := scores.Data[0]
+	for _, v := range scores.Data[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float32
+	for i, v := range scores.Data {
+		e := exp32(v - max)
+		out.Data[i] = e
+		sum += e
+	}
+	if sum > 0 {
+		for i := range out.Data {
+			out.Data[i] /= sum
+		}
+	}
+	return out
+}
+
+func exp32(v float32) float32 {
+	return float32(math.Exp(float64(v)))
+}
+
+// Summary returns a human-readable table of the network's nodes: index,
+// layer name, type, and (for weight layers) the parameter count and the
+// paper-style weight-layer index.
+func (n *Network) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d nodes, %d weight layers, %d parameters\n",
+		n.NetName, len(n.Nodes), n.NumWeightLayers(), n.TotalWeights())
+	wl := 0
+	for i, node := range n.Nodes {
+		fmt.Fprintf(&b, "%4d  %-22s %-16T", i, node.Layer.Name(), node.Layer)
+		if l, ok := node.Layer.(WeightLayer); ok {
+			fmt.Fprintf(&b, " L%-3d %8d params", wl, l.NumWeights())
+			wl++
+		}
+		if len(node.Inputs) != 1 || node.Inputs[0] != i-1 {
+			fmt.Fprintf(&b, "  inputs %v", node.Inputs)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

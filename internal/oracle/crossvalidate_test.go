@@ -1,0 +1,89 @@
+package oracle
+
+import (
+	"testing"
+
+	"cnnsfi/internal/dataset"
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/inject"
+	"cnnsfi/internal/models"
+)
+
+// TestOracleMatchesInferenceStructure cross-validates the oracle's
+// criticality surface against real inference-based fault injection on
+// the same network: the per-bit critical-rate *structure* (which bits
+// matter, in which order, at what magnitude class) must agree, because
+// that structure is what the statistical methodology stratifies on.
+func TestOracleMatchesInferenceStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs thousands of real inferences")
+	}
+	net := models.SmallCNN(1)
+	o := New(net, DefaultConfig(3))
+	ds := dataset.Synthetic(dataset.Config{N: 6, Seed: 1, Size: 16})
+	inj := inject.New(net, ds)
+	space := o.Space()
+
+	// Probe the same spread of faults on both substrates, per bit class.
+	rate := func(ev interface {
+		IsCritical(faultmodel.Fault) bool
+	}, layer, bit, probes int) float64 {
+		n := space.BitLayerTotal(layer)
+		critical := 0
+		for k := 0; k < probes; k++ {
+			j := int64(k) * (n - 1) / int64(probes-1)
+			if ev.IsCritical(space.BitLayerFault(layer, bit, j)) {
+				critical++
+			}
+		}
+		return float64(critical) / float64(probes)
+	}
+
+	const probes = 150
+	layer := 2 // the largest SmallCNN layer
+
+	// 1. Exponent MSB: both substrates see a large critical rate
+	//    (≈ f0 · pMax under stuck-at pairs → ~0.5 raw).
+	oracleMSB := rate(o, layer, 30, probes)
+	injMSB := rate(inj, layer, 30, probes)
+	if oracleMSB < 0.25 || injMSB < 0.25 {
+		t.Errorf("bit-30 rates: oracle %.3f, inference %.3f — both should be large", oracleMSB, injMSB)
+	}
+	if diff := oracleMSB - injMSB; diff > 0.25 || diff < -0.25 {
+		t.Errorf("bit-30 rates disagree: oracle %.3f vs inference %.3f", oracleMSB, injMSB)
+	}
+
+	// 2. Mantissa: both essentially zero.
+	for _, bit := range []int{0, 8, 16} {
+		or := rate(o, layer, bit, probes)
+		ir := rate(inj, layer, bit, probes)
+		if or > 0.02 || ir > 0.02 {
+			t.Errorf("bit %d rates: oracle %.3f, inference %.3f — both should be ≈ 0", bit, or, ir)
+		}
+	}
+
+	// 3. Sign and mid exponent: rare events on both substrates
+	//    (well below the exponent MSB).
+	for _, bit := range []int{31, 26, 24} {
+		or := rate(o, layer, bit, probes)
+		ir := rate(inj, layer, bit, probes)
+		if or > oracleMSB/3 || ir > injMSB/3 {
+			t.Errorf("bit %d rates: oracle %.3f, inference %.3f — should be far below the MSB", bit, or, ir)
+		}
+	}
+
+	// 4. Rank agreement: ordering of bit classes matches.
+	order := func(ev interface {
+		IsCritical(faultmodel.Fault) bool
+	}) (msb, mid, mant float64) {
+		return rate(ev, layer, 30, probes), rate(ev, layer, 24, probes), rate(ev, layer, 4, probes)
+	}
+	om, omid, omant := order(o)
+	im, imid, imant := order(inj)
+	if !(om >= omid && omid >= omant) {
+		t.Errorf("oracle ordering broken: %v %v %v", om, omid, omant)
+	}
+	if !(im >= imid && imid >= imant) {
+		t.Errorf("inference ordering broken: %v %v %v", im, imid, imant)
+	}
+}

@@ -1,0 +1,160 @@
+// Package quantize implements symmetric linear INT8 weight quantization
+// and the bit-level fault analysis of quantized weights — the "different
+// data representations for storing their parameters" direction named in
+// the paper's conclusions (and studied by the authors' earlier work on
+// data representations, Ruospo et al., Microprocessors and Microsystems
+// 2021).
+//
+// Quantized integer representations behave very differently from
+// floating point under single-bit faults: the bit-flip distance of bit i
+// is exactly 2^i·Δ (Δ the quantization step), so criticality grows
+// geometrically with bit position but never explodes the way an exponent
+// flip does — there is no counterpart of the FP32 "bit 30 cliff". The
+// data-aware analysis consequently assigns a smooth p(i) staircase and
+// yields a smaller relative saving than in FP32.
+package quantize
+
+import (
+	"fmt"
+	"math"
+
+	"cnnsfi/internal/stats"
+)
+
+// Scheme is a symmetric linear INT8 quantizer: q = clamp(round(w/Δ)),
+// w ≈ q·Δ, with q ∈ [-127, 127] (the -128 code is unused, as is common
+// practice to keep the scheme symmetric).
+type Scheme struct {
+	// Delta is the quantization step.
+	Delta float64
+}
+
+// Bits is the width of the quantized representation.
+const Bits = 8
+
+// Fit chooses the step Δ so that the largest-magnitude weight maps to
+// ±127. It panics on empty input; an all-zero input gets Δ = 1.
+func Fit(weights []float32) Scheme {
+	if len(weights) == 0 {
+		panic("quantize: no weights")
+	}
+	var max float64
+	for _, w := range weights {
+		if a := math.Abs(float64(w)); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return Scheme{Delta: 1}
+	}
+	return Scheme{Delta: max / 127}
+}
+
+// Quantize maps a weight to its signed code.
+func (s Scheme) Quantize(w float32) int8 {
+	q := math.Round(float64(w) / s.Delta)
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// Dequantize maps a code back to the real domain.
+func (s Scheme) Dequantize(q int8) float32 {
+	return float32(float64(q) * s.Delta)
+}
+
+// FlipDistance returns |dequant(q) − dequant(q XOR 1<<bit)| for a
+// two's-complement INT8 code. Flipping the sign bit (bit 7) of code q
+// changes its value by exactly 128·Δ in two's complement.
+func (s Scheme) FlipDistance(q int8, bit int) float64 {
+	if bit < 0 || bit >= Bits {
+		panic(fmt.Sprintf("quantize: bit %d out of range", bit))
+	}
+	flipped := int8(uint8(q) ^ (1 << uint(bit)))
+	return math.Abs(float64(flipped)-float64(q)) * s.Delta
+}
+
+// Analysis mirrors dataaware.Analysis for the INT8 representation.
+type Analysis struct {
+	// Scheme is the fitted quantizer.
+	Scheme Scheme
+	// Count is the number of weights scanned.
+	Count int
+	// F0 and F1 are the per-bit relative frequencies of 0/1 codes.
+	F0, F1 []float64
+	// D01, D10 are the average 0→1 / 1→0 flip distances per bit.
+	D01, D10 []float64
+	// Davg is Eq. 4 applied to the quantized codes.
+	Davg []float64
+	// P is Eq. 5: Davg min-max normalized into [0, 0.5].
+	P []float64
+}
+
+// Analyze quantizes the weights and runs the data-aware analysis in the
+// integer domain. Unlike FP32, integer flip distances span only two
+// orders of magnitude (Δ to 128·Δ), so no outlier exclusion is needed
+// and the literal linear Eq. 5 is used.
+func Analyze(weights []float32) *Analysis {
+	if len(weights) == 0 {
+		panic("quantize: no weights to analyze")
+	}
+	s := Fit(weights)
+	a := &Analysis{
+		Scheme: s,
+		Count:  len(weights),
+		F0:     make([]float64, Bits),
+		F1:     make([]float64, Bits),
+		D01:    make([]float64, Bits),
+		D10:    make([]float64, Bits),
+		Davg:   make([]float64, Bits),
+	}
+	ones := make([]int64, Bits)
+	sum01 := make([]float64, Bits)
+	sum10 := make([]float64, Bits)
+	for _, w := range weights {
+		q := s.Quantize(w)
+		for i := 0; i < Bits; i++ {
+			d := s.FlipDistance(q, i)
+			if uint8(q)&(1<<uint(i)) != 0 {
+				ones[i]++
+				sum10[i] += d
+			} else {
+				sum01[i] += d
+			}
+		}
+	}
+	n := float64(len(weights))
+	for i := 0; i < Bits; i++ {
+		zeros := int64(len(weights)) - ones[i]
+		a.F1[i] = float64(ones[i]) / n
+		a.F0[i] = float64(zeros) / n
+		if zeros > 0 {
+			a.D01[i] = sum01[i] / float64(zeros)
+		}
+		if ones[i] > 0 {
+			a.D10[i] = sum10[i] / float64(ones[i])
+		}
+		a.Davg[i] = a.D01[i]*a.F0[i] + a.D10[i]*a.F1[i]
+	}
+	a.P = stats.MinMaxNormalize(a.Davg, 0, 0.5)
+	return a
+}
+
+// QuantizationError returns the RMS error of representing the weights in
+// the fitted scheme — the accuracy cost of moving to INT8.
+func QuantizationError(weights []float32) float64 {
+	if len(weights) == 0 {
+		return 0
+	}
+	s := Fit(weights)
+	var ss float64
+	for _, w := range weights {
+		d := float64(w) - float64(s.Dequantize(s.Quantize(w)))
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(weights)))
+}

@@ -1,0 +1,193 @@
+package quantize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitMapsMaxTo127(t *testing.T) {
+	s := Fit([]float32{-0.5, 0.25, 0.1})
+	if got := s.Quantize(0.5); got != 127 {
+		t.Errorf("quantize(max) = %d, want 127", got)
+	}
+	if got := s.Quantize(-0.5); got != -127 {
+		t.Errorf("quantize(-max) = %d, want -127", got)
+	}
+	if got := s.Quantize(0); got != 0 {
+		t.Errorf("quantize(0) = %d", got)
+	}
+}
+
+func TestFitAllZeros(t *testing.T) {
+	s := Fit(make([]float32, 10))
+	if s.Delta != 1 {
+		t.Errorf("zero-weight delta = %v", s.Delta)
+	}
+}
+
+func TestFitPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty Fit did not panic")
+		}
+	}()
+	Fit(nil)
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	s := Scheme{Delta: 0.01}
+	if got := s.Quantize(100); got != 127 {
+		t.Errorf("overflow quantize = %d", got)
+	}
+	if got := s.Quantize(-100); got != -127 {
+		t.Errorf("underflow quantize = %d", got)
+	}
+}
+
+func TestRoundTripErrorBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float32, 1000)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	s := Fit(w)
+	for _, v := range w {
+		back := s.Dequantize(s.Quantize(v))
+		if math.Abs(float64(back-v)) > s.Delta/2+1e-9 {
+			t.Fatalf("round-trip error %v exceeds Δ/2 = %v", back-v, s.Delta/2)
+		}
+	}
+}
+
+func TestFlipDistanceGeometric(t *testing.T) {
+	// For a positive code with bit i = 0, flipping bit i (i < 7) adds
+	// exactly 2^i·Δ.
+	s := Scheme{Delta: 0.5}
+	q := int8(0)
+	for i := 0; i < 7; i++ {
+		want := float64(int64(1)<<uint(i)) * 0.5
+		if got := s.FlipDistance(q, i); got != want {
+			t.Errorf("bit %d: distance = %v, want %v", i, got, want)
+		}
+	}
+	// Sign bit of 0 (two's complement): 0 ^ 0x80 = -128 → distance 128Δ.
+	if got := s.FlipDistance(0, 7); got != 64 {
+		t.Errorf("sign flip distance = %v, want 64", got)
+	}
+}
+
+func TestFlipDistancePanics(t *testing.T) {
+	s := Scheme{Delta: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad bit did not panic")
+		}
+	}()
+	s.FlipDistance(0, 8)
+}
+
+func TestFlipDistanceSymmetricProperty(t *testing.T) {
+	// Distance is invariant under flipping back.
+	s := Scheme{Delta: 0.01}
+	f := func(q int8, bit uint8) bool {
+		i := int(bit % 8)
+		flipped := int8(uint8(q) ^ (1 << uint(i)))
+		return s.FlipDistance(q, i) == s.FlipDistance(flipped, i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeShapeAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := make([]float32, 20000)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	a := Analyze(w)
+	if len(a.P) != 8 {
+		t.Fatalf("bits = %d", len(a.P))
+	}
+	for i := 0; i < 8; i++ {
+		if math.Abs(a.F0[i]+a.F1[i]-1) > 1e-12 {
+			t.Errorf("bit %d: f0+f1 != 1", i)
+		}
+		if a.P[i] < 0 || a.P[i] > 0.5 {
+			t.Errorf("bit %d: p = %v", i, a.P[i])
+		}
+	}
+}
+
+// TestAnalyzeNoCliff: in INT8 the criticality staircase is geometric —
+// each magnitude bit roughly doubles the previous one's Davg — without
+// the FP32 exponent cliff (max/second ratio ~2, not ~10^37).
+func TestAnalyzeNoCliff(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := make([]float32, 20000)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	a := Analyze(w)
+	// Monotone increase across magnitude bits 0..6.
+	for i := 1; i < 7; i++ {
+		if a.Davg[i] <= a.Davg[i-1] {
+			t.Errorf("Davg not increasing at bit %d: %v <= %v", i, a.Davg[i], a.Davg[i-1])
+		}
+	}
+	// The top two Davg values are within a small constant factor.
+	hi, second := a.Davg[7], a.Davg[6]
+	if hi < second {
+		hi, second = second, hi
+	}
+	if hi/second > 10 {
+		t.Errorf("INT8 cliff detected: %v / %v", hi, second)
+	}
+}
+
+// TestDataAwareSavingSmallerThanFP32: because criticality is spread
+// across bits, Σ p(1−p) relative to the agnostic 8 × 0.25 is larger
+// than FP32's ratio — the saving from data-awareness shrinks.
+func TestDataAwareSavingSmallerThanFP32(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := make([]float32, 20000)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	a := Analyze(w)
+	var sum float64
+	for _, p := range a.P {
+		sum += p * (1 - p)
+	}
+	ratio := sum / (8 * 0.25)
+	if ratio < 0.05 || ratio > 0.9 {
+		t.Errorf("Σp(1-p) ratio = %v, want a moderate fraction", ratio)
+	}
+}
+
+func TestQuantizationError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := make([]float32, 5000)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	rms := QuantizationError(w)
+	s := Fit(w)
+	if rms <= 0 || rms > s.Delta {
+		t.Errorf("rms error = %v, delta = %v", rms, s.Delta)
+	}
+	if QuantizationError(nil) != 0 {
+		t.Error("empty error should be 0")
+	}
+}
+
+func TestAnalyzePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty Analyze did not panic")
+		}
+	}()
+	Analyze(nil)
+}

@@ -1,0 +1,207 @@
+// Package reliability converts the critical-fault proportions measured
+// by SFI campaigns into the system-level reliability metrics that
+// safety standards such as ISO 26262 reason about, and models the
+// selective-protection what-if scenarios those numbers motivate.
+//
+// The paper's context: CNN weights are static data held in memory, the
+// dominant contributor of soft errors in accelerator-class devices when
+// no ECC is present. Given a raw per-bit upset rate (FIT/bit — failures
+// in time per 10⁹ device-hours) and a campaign's estimate of the
+// probability that a weight-bit fault becomes a critical failure, the
+// silent-data-corruption FIT of the deployed network is
+//
+//	FIT_SDC = Σ_bits rawFIT · P(critical | upset at that bit),
+//
+// which the bit-granular SFI approaches estimate per (bit, layer)
+// stratum. Selective protection (parity + reload, ECC, or bit
+// hardening) of the most critical bit positions removes their
+// contribution at a cost proportional to the number of protected cells;
+// because criticality is concentrated in one or two exponent bits
+// (Fig. 4), protecting 1/32 of the memory eliminates almost all of the
+// SDC FIT — the actionable conclusion the paper's analysis enables.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cnnsfi/internal/core"
+	"cnnsfi/internal/stats"
+)
+
+// SERConfig describes the raw soft-error behaviour of the weight memory.
+type SERConfig struct {
+	// RawFITPerBit is the raw upset rate of one memory bit in FIT
+	// (failures per 10⁹ hours). Typical 28-65 nm SRAM figures are
+	// 1e-5 .. 1e-3 FIT/bit at sea level.
+	RawFITPerBit float64
+}
+
+// BitContribution is one bit position's share of the SDC FIT.
+type BitContribution struct {
+	// Bit is the bit position (0 = LSB).
+	Bit int
+	// Cells is the number of memory cells at this bit position (one
+	// per weight).
+	Cells int64
+	// CriticalProbability is the estimated P(critical | upset).
+	CriticalProbability float64
+	// FIT is the bit position's contribution to the SDC rate.
+	FIT float64
+}
+
+// Report is the reliability assessment derived from a bit-granular
+// campaign result.
+type Report struct {
+	// Config echoes the raw soft-error assumption.
+	Config SERConfig
+	// TotalCells is the total number of weight bits in the network.
+	TotalCells int64
+	// SDCFIT is the estimated silent-data-corruption rate of the
+	// unprotected network, in FIT.
+	SDCFIT float64
+	// Bits holds the per-bit-position breakdown, sorted by FIT
+	// contribution (largest first).
+	Bits []BitContribution
+}
+
+// Assess derives the reliability report from a bit-granular campaign
+// result (data-unaware or data-aware). Each (bit, layer) stratum
+// contributes rawFIT · cells · p̂ to the total. It returns an error for
+// plans without bit granularity, mirroring the paper's argument that
+// coarser campaigns cannot answer bit-level questions.
+func Assess(res *core.Result, cfg SERConfig) (*Report, error) {
+	plan := res.Plan
+	if plan.Approach != core.DataUnaware && plan.Approach != core.DataAware {
+		return nil, fmt.Errorf("reliability: %s campaigns have no per-bit estimates; use a bit-granular plan", plan.Approach)
+	}
+	if cfg.RawFITPerBit <= 0 {
+		return nil, fmt.Errorf("reliability: raw FIT/bit must be positive, got %v", cfg.RawFITPerBit)
+	}
+
+	perBit := make(map[int]*BitContribution)
+	for i, sub := range plan.Subpops {
+		est := res.Estimates[i]
+		bc := perBit[sub.Bit]
+		if bc == nil {
+			bc = &BitContribution{Bit: sub.Bit}
+			perBit[sub.Bit] = bc
+		}
+		// One memory cell per weight at this bit position; the stratum's
+		// population additionally counts fault variants (sa0 + sa1).
+		nCells := int64(plan.Space.LayerParams[sub.Layer])
+		bc.Cells += nCells
+		// Weight the stratum's criticality by its cell count.
+		bc.CriticalProbability += est.PHat() * float64(nCells)
+	}
+
+	rep := &Report{Config: cfg}
+	for _, bc := range perBit {
+		bc.CriticalProbability /= float64(bc.Cells)
+		bc.FIT = cfg.RawFITPerBit * float64(bc.Cells) * bc.CriticalProbability
+		rep.TotalCells += bc.Cells
+		rep.SDCFIT += bc.FIT
+		rep.Bits = append(rep.Bits, *bc)
+	}
+	sort.Slice(rep.Bits, func(i, j int) bool {
+		if rep.Bits[i].FIT != rep.Bits[j].FIT {
+			return rep.Bits[i].FIT > rep.Bits[j].FIT
+		}
+		return rep.Bits[i].Bit > rep.Bits[j].Bit
+	})
+	return rep, nil
+}
+
+// Protection is a selective-protection scenario: the listed bit
+// positions of every weight are protected (assumed to mask all their
+// upsets, as parity-plus-reload does for read-only data).
+type Protection struct {
+	// Bits are the protected bit positions.
+	Bits []int
+}
+
+// ResidualFIT returns the SDC FIT remaining after protection.
+func (r *Report) ResidualFIT(p Protection) float64 {
+	protected := make(map[int]bool, len(p.Bits))
+	for _, b := range p.Bits {
+		protected[b] = true
+	}
+	var fit float64
+	for _, bc := range r.Bits {
+		if !protected[bc.Bit] {
+			fit += bc.FIT
+		}
+	}
+	return fit
+}
+
+// ProtectionOverhead returns the fraction of memory cells covered by the
+// protection — its storage/energy cost proxy.
+func (r *Report) ProtectionOverhead(p Protection) float64 {
+	if r.TotalCells == 0 {
+		return 0
+	}
+	protected := make(map[int]bool, len(p.Bits))
+	for _, b := range p.Bits {
+		protected[b] = true
+	}
+	var cells int64
+	for _, bc := range r.Bits {
+		if protected[bc.Bit] {
+			cells += bc.Cells
+		}
+	}
+	return float64(cells) / float64(r.TotalCells)
+}
+
+// BestProtection greedily selects up to maxBits bit positions, largest
+// FIT contribution first — optimal here because contributions are
+// independent and the per-bit cost is uniform.
+func (r *Report) BestProtection(maxBits int) Protection {
+	var bits []int
+	for i := 0; i < len(r.Bits) && i < maxBits; i++ {
+		if r.Bits[i].FIT <= 0 {
+			break
+		}
+		bits = append(bits, r.Bits[i].Bit)
+	}
+	return Protection{Bits: bits}
+}
+
+// MissionReliability returns exp(−FIT·hours/10⁹): the probability of
+// surviving a mission of the given duration without a silent data
+// corruption, under a constant-rate (exponential) failure model.
+func MissionReliability(fit, hours float64) float64 {
+	return math.Exp(-fit * hours / 1e9)
+}
+
+// RequiredFIT inverts MissionReliability: the maximum tolerable SDC FIT
+// for a target survival probability over the mission duration. It
+// panics if the target is outside (0, 1) or hours is non-positive.
+func RequiredFIT(targetReliability, hours float64) float64 {
+	if targetReliability <= 0 || targetReliability >= 1 {
+		panic(fmt.Sprintf("reliability: target %v outside (0,1)", targetReliability))
+	}
+	if hours <= 0 {
+		panic("reliability: non-positive mission duration")
+	}
+	return -math.Log(targetReliability) * 1e9 / hours
+}
+
+// MarginFIT propagates the campaign's statistical error margins into a
+// FIT uncertainty: the half-width of the SDC FIT interval implied by
+// each stratum's margin at the configuration's confidence.
+func MarginFIT(res *core.Result, cfg SERConfig, c stats.SampleSizeConfig) float64 {
+	plan := res.Plan
+	var fit float64
+	for i, sub := range plan.Subpops {
+		if sub.Bit < 0 {
+			continue
+		}
+		est := res.Estimates[i]
+		nCells := float64(plan.Space.LayerParams[sub.Layer])
+		fit += cfg.RawFITPerBit * nCells * est.Margin(c)
+	}
+	return fit
+}

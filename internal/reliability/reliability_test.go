@@ -1,0 +1,180 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"cnnsfi/internal/core"
+	"cnnsfi/internal/models"
+	"cnnsfi/internal/oracle"
+	"cnnsfi/internal/stats"
+)
+
+func smallResult(t testing.TB) *core.Result {
+	t.Helper()
+	o := oracle.New(models.SmallCNN(1), oracle.DefaultConfig(3))
+	plan := core.PlanDataUnaware(o.Space(), stats.DefaultConfig())
+	return core.Run(o, plan, 0)
+}
+
+func TestAssessBasicInvariants(t *testing.T) {
+	res := smallResult(t)
+	cfg := SERConfig{RawFITPerBit: 1e-4}
+	rep, err := Assess(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bits) != 32 {
+		t.Fatalf("bit contributions = %d", len(rep.Bits))
+	}
+	// 1,708 weights × 32 bit positions of cells in total.
+	if rep.TotalCells != 1708*32 {
+		t.Errorf("total cells = %d, want %d", rep.TotalCells, 1708*32)
+	}
+	// Total FIT is the sum of contributions, sorted descending.
+	var sum float64
+	for i, bc := range rep.Bits {
+		sum += bc.FIT
+		if bc.FIT < 0 || bc.CriticalProbability < 0 || bc.CriticalProbability > 1 {
+			t.Errorf("bit %d: implausible contribution %+v", bc.Bit, bc)
+		}
+		if i > 0 && rep.Bits[i-1].FIT < bc.FIT {
+			t.Error("contributions not sorted")
+		}
+	}
+	if math.Abs(sum-rep.SDCFIT) > 1e-12 {
+		t.Errorf("FIT sum %v != total %v", sum, rep.SDCFIT)
+	}
+	// The upper bound: every upset critical.
+	if rep.SDCFIT >= cfg.RawFITPerBit*float64(rep.TotalCells) {
+		t.Error("SDC FIT should be below the raw upset rate")
+	}
+}
+
+// TestExponentMSBDominatesFIT: the actionable insight — one bit position
+// carries essentially all of the SDC FIT.
+func TestExponentMSBDominatesFIT(t *testing.T) {
+	res := smallResult(t)
+	rep, err := Assess(res, SERConfig{RawFITPerBit: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bits[0].Bit != 30 {
+		t.Fatalf("dominant bit = %d, want 30", rep.Bits[0].Bit)
+	}
+	if rep.Bits[0].FIT < 0.9*rep.SDCFIT {
+		t.Errorf("bit 30 carries %.1f%% of the FIT, want ≥ 90%%",
+			rep.Bits[0].FIT/rep.SDCFIT*100)
+	}
+}
+
+func TestSelectiveProtection(t *testing.T) {
+	res := smallResult(t)
+	rep, _ := Assess(res, SERConfig{RawFITPerBit: 1e-4})
+
+	// Protecting the best single bit removes ≥ 90% of the FIT at ~3%
+	// overhead (1 cell of 32 per weight).
+	p1 := rep.BestProtection(1)
+	if len(p1.Bits) != 1 || p1.Bits[0] != 30 {
+		t.Fatalf("best single protection = %v", p1.Bits)
+	}
+	residual := rep.ResidualFIT(p1)
+	if residual > 0.1*rep.SDCFIT {
+		t.Errorf("residual FIT %v not ≤ 10%% of %v", residual, rep.SDCFIT)
+	}
+	overhead := rep.ProtectionOverhead(p1)
+	if math.Abs(overhead-1.0/32) > 1e-9 {
+		t.Errorf("overhead = %v, want 1/32", overhead)
+	}
+
+	// Protecting everything removes all FIT at full overhead.
+	all := rep.BestProtection(32)
+	if got := rep.ResidualFIT(all); got > 1e-15 {
+		t.Errorf("fully protected residual = %v", got)
+	}
+	// No protection changes nothing.
+	if rep.ResidualFIT(Protection{}) != rep.SDCFIT {
+		t.Error("empty protection altered the FIT")
+	}
+}
+
+func TestBestProtectionSkipsZeroContributions(t *testing.T) {
+	res := smallResult(t)
+	rep, _ := Assess(res, SERConfig{RawFITPerBit: 1e-4})
+	p := rep.BestProtection(32)
+	// Mantissa LSB strata observe zero criticals; they must not be
+	// "protected" pointlessly.
+	if len(p.Bits) == 32 {
+		t.Error("protection should stop at zero-FIT bits")
+	}
+}
+
+func TestAssessRejectsCoarsePlans(t *testing.T) {
+	o := oracle.New(models.SmallCNN(1), oracle.DefaultConfig(3))
+	res := core.Run(o, core.PlanLayerWise(o.Space(), stats.DefaultConfig()), 0)
+	if _, err := Assess(res, SERConfig{RawFITPerBit: 1e-4}); err == nil {
+		t.Error("layer-wise plan accepted")
+	}
+}
+
+func TestAssessRejectsBadConfig(t *testing.T) {
+	res := smallResult(t)
+	if _, err := Assess(res, SERConfig{}); err == nil {
+		t.Error("zero FIT/bit accepted")
+	}
+}
+
+func TestMissionReliability(t *testing.T) {
+	// Zero FIT → certain survival.
+	if got := MissionReliability(0, 1e6); got != 1 {
+		t.Errorf("R(0) = %v", got)
+	}
+	// 1000 FIT over 10⁶ hours: exp(-1e-3·1e3)= exp(-1) ≈ 0.3679.
+	if got := MissionReliability(1000, 1e6); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Errorf("R = %v", got)
+	}
+	// Monotone decreasing in time.
+	if MissionReliability(10, 2e6) >= MissionReliability(10, 1e6) {
+		t.Error("reliability should decrease with mission length")
+	}
+}
+
+func TestRequiredFITRoundTrip(t *testing.T) {
+	const hours = 50000 // a vehicle lifetime
+	fit := RequiredFIT(0.999, hours)
+	if got := MissionReliability(fit, hours); math.Abs(got-0.999) > 1e-12 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestRequiredFITPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RequiredFIT(0, 100) },
+		func() { RequiredFIT(1, 100) },
+		func() { RequiredFIT(0.99, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad RequiredFIT input did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMarginFIT(t *testing.T) {
+	res := smallResult(t)
+	cfg := SERConfig{RawFITPerBit: 1e-4}
+	rep, _ := Assess(res, cfg)
+	m := MarginFIT(res, cfg, stats.DefaultConfig())
+	if m <= 0 {
+		t.Fatalf("margin FIT = %v", m)
+	}
+	// The uncertainty must be a modest fraction of the worst case but
+	// can exceed the point estimate when most strata observe zero.
+	if m >= cfg.RawFITPerBit*float64(rep.TotalCells) {
+		t.Errorf("margin FIT %v exceeds the raw bound", m)
+	}
+}

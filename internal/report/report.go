@@ -1,0 +1,175 @@
+// Package report renders the experiment outputs — fixed-width text
+// tables matching the paper's Tables I-III, CSV series for the figures,
+// and simple ASCII bar charts for terminal inspection.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Headers label the columns.
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		case float32:
+			row[i] = trimFloat(float64(x))
+		case int, int64, int32:
+			row[i] = Comma(toInt64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func toInt64(v interface{}) int64 {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int64:
+		return x
+	case int32:
+		return int64(x)
+	default:
+		return 0
+	}
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	var sep strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, "| %-*s ", widths[i], h)
+		sep.WriteString("|")
+		sep.WriteString(strings.Repeat("-", widths[i]+2))
+	}
+	fmt.Fprintln(w, "|")
+	fmt.Fprintln(w, sep.String()+"|")
+	for _, row := range t.rows {
+		for i, cell := range row {
+			fmt.Fprintf(w, "| %*s ", widths[i], cell)
+		}
+		fmt.Fprintln(w, "|")
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Comma formats an integer with thousands separators (e.g. 17,174,144),
+// matching the paper's table style.
+func Comma(v int64) string {
+	sign := ""
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return sign + strings.Join(parts, ",")
+}
+
+// Pct formats a fraction as a percentage with two decimals ("1.21%").
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.2f%%", frac*100)
+}
+
+// CSV writes rows of values as comma-separated lines, with a header.
+type CSV struct {
+	w io.Writer
+}
+
+// NewCSV starts a CSV stream with the given column names.
+func NewCSV(w io.Writer, columns ...string) *CSV {
+	fmt.Fprintln(w, strings.Join(columns, ","))
+	return &CSV{w: w}
+}
+
+// Row writes one data row.
+func (c *CSV) Row(values ...interface{}) {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%g", x)
+		case float32:
+			parts[i] = fmt.Sprintf("%g", x)
+		default:
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	fmt.Fprintln(c.w, strings.Join(parts, ","))
+}
+
+// Bars renders an ASCII horizontal bar chart of labeled non-negative
+// values, scaled to maxWidth characters.
+func Bars(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	max := 0.0
+	lw := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > lw {
+			lw = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(maxWidth))
+		}
+		fmt.Fprintf(w, "%-*s | %s %.4g\n", lw, labels[i], strings.Repeat("#", n), v)
+	}
+}

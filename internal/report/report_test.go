@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComma(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{17174144, "17,174,144"},
+		{141029376, "141,029,376"},
+		{-12345, "-12,345"},
+	}
+	for _, tt := range tests {
+		if got := Comma(tt.in); got != tt.want {
+			t.Errorf("Comma(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0121); got != "1.21%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1); got != "100.00%" {
+		t.Errorf("Pct(1) = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table I", "Layer", "Params", "n")
+	tab.AddRow(0, 432, 27648)
+	tab.AddRow(19, 640, 40960)
+	out := tab.String()
+	for _, want := range []string{"Table I", "Layer", "27,648", "40,960", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableFloats(t *testing.T) {
+	tab := NewTable("", "x")
+	tab.AddRow(0.5)
+	tab.AddRow(1.21)
+	out := tab.String()
+	if !strings.Contains(out, "0.5") || !strings.Contains(out, "1.21") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if strings.Contains(out, "0.5000") {
+		t.Error("trailing zeros not trimmed")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	c := NewCSV(&b, "bit", "p")
+	c.Row(30, 0.5)
+	c.Row(0, 0.0001)
+	got := b.String()
+	want := "bit,p\n30,0.5\n0,0.0001\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "title", []string{"a", "bb"}, []float64{1, 2}, 10)
+	out := b.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "##########") {
+		t.Errorf("bars output:\n%s", out)
+	}
+	// Max value gets full width; half value gets half width.
+	if !strings.Contains(out, "#####") {
+		t.Errorf("bars scaling wrong:\n%s", out)
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "", []string{"x"}, []float64{0}, 10)
+	if strings.Contains(b.String(), "#") {
+		t.Error("zero values should render no bars")
+	}
+}

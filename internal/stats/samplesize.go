@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rounding selects how the real-valued sample size of Eq. 1 is converted
+// to an integer number of fault injections.
+type Rounding uint8
+
+// Rounding modes.
+const (
+	// RoundNearest rounds half away from zero; this is the convention
+	// that reproduces the paper's Tables I and II exactly.
+	RoundNearest Rounding = iota
+	// RoundCeil always rounds up; the statistically conservative choice
+	// (the achieved margin never exceeds the requested one).
+	RoundCeil
+)
+
+// SampleSizeConfig carries the parameters of Eq. 1.
+type SampleSizeConfig struct {
+	// ErrorMargin is the desired maximum error of the estimate e, as a
+	// probability (the paper uses e = 0.01, i.e. 1%).
+	ErrorMargin float64
+	// Confidence is the desired confidence level, e.g. 0.99.
+	Confidence float64
+	// P is the a-priori probability that a trial succeeds (a fault
+	// becomes a critical failure). p = 0.5 maximizes p·(1-p) and is the
+	// safest, data-unaware choice; the data-aware methodology supplies
+	// per-bit values p(i) ∈ (0, 0.5].
+	P float64
+	// UseExactZ selects the exact normal quantile instead of the
+	// conventional rounded value (2.58 at 99%). The paper uses the
+	// rounded convention; leave false to reproduce its tables.
+	UseExactZ bool
+	// Rounding converts the real-valued n to an integer count.
+	Rounding Rounding
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: e = 1%, 99% confidence (t = 2.58), p = 0.5,
+// round-to-nearest.
+func DefaultConfig() SampleSizeConfig {
+	return SampleSizeConfig{ErrorMargin: 0.01, Confidence: 0.99, P: 0.5}
+}
+
+// WithP returns a copy of the configuration with the success probability
+// replaced, clamped into the open interval (0, 1) to keep Eq. 1
+// well-defined. The data-aware methodology (Eq. 5) produces p ∈ [0, 0.5];
+// p = 0 would mean "no injections needed at all", which is statistically
+// degenerate, so it is clamped to a small positive floor.
+func (c SampleSizeConfig) WithP(p float64) SampleSizeConfig {
+	const floor = 1e-4
+	if p < floor {
+		p = floor
+	}
+	if p > 1-floor {
+		p = 1 - floor
+	}
+	c.P = p
+	return c
+}
+
+// Z returns the normal quantile t of Eq. 1 under the configuration's
+// convention.
+func (c SampleSizeConfig) Z() float64 {
+	if c.UseExactZ {
+		return ZExact(c.Confidence)
+	}
+	return ZRounded(c.Confidence)
+}
+
+// Validate reports whether the configuration parameters are usable.
+func (c SampleSizeConfig) Validate() error {
+	if c.ErrorMargin <= 0 || c.ErrorMargin >= 1 {
+		return fmt.Errorf("stats: error margin %v outside (0,1)", c.ErrorMargin)
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("stats: confidence %v outside (0,1)", c.Confidence)
+	}
+	if c.P <= 0 || c.P >= 1 {
+		return fmt.Errorf("stats: p %v outside (0,1)", c.P)
+	}
+	return nil
+}
+
+// SampleSize evaluates Eq. 1 of the paper,
+//
+//	n = N / (1 + e²·(N−1)/(t²·p·(1−p))),
+//
+// the sample size needed to estimate a proportion over a finite
+// population of N faults with maximum error e at the configured
+// confidence, assuming per-trial success probability p (binomial model
+// with the normal approximation and the finite population correction).
+//
+// The result is guaranteed to lie in [0, N]. It panics if the
+// configuration is invalid (use Validate to check first) or N < 0.
+func (c SampleSizeConfig) SampleSize(populationSize int64) int64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if populationSize < 0 {
+		panic("stats: negative population size")
+	}
+	if populationSize == 0 {
+		return 0
+	}
+	N := float64(populationSize)
+	t := c.Z()
+	e := c.ErrorMargin
+	raw := N / (1 + e*e*(N-1)/(t*t*c.P*(1-c.P)))
+
+	var n int64
+	switch c.Rounding {
+	case RoundCeil:
+		n = int64(math.Ceil(raw))
+	default:
+		n = int64(math.Round(raw))
+	}
+	if n < 1 {
+		n = 1 // always inject at least one fault in a nonempty population
+	}
+	if n > populationSize {
+		n = populationSize
+	}
+	return n
+}
+
+// AchievedMargin inverts Eq. 1: given a sample of size n drawn from a
+// population of size N, it returns the error margin e actually achieved
+// at the configured confidence for the configured p,
+//
+//	e = t·sqrt(p·(1−p)/n)·sqrt((N−n)/(N−1)),
+//
+// i.e. the half-width of the normal-approximation confidence interval
+// with the finite population correction. For n ≥ N (exhaustive) the
+// margin is zero. It panics on invalid configuration or n ≤ 0.
+func (c SampleSizeConfig) AchievedMargin(n, populationSize int64) float64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if n <= 0 {
+		panic("stats: non-positive sample size")
+	}
+	N := float64(populationSize)
+	if populationSize <= 1 || n >= populationSize {
+		return 0
+	}
+	t := c.Z()
+	fpc := math.Sqrt((N - float64(n)) / (N - 1))
+	return t * math.Sqrt(c.P*(1-c.P)/float64(n)) * fpc
+}
+
+// WilsonInterval returns the Wilson score interval for x successes in n
+// trials at the configuration's confidence. Unlike the Wald interval
+// (ObservedMargin), it stays meaningful at observed proportions of 0 or
+// 1 and never leaves [0, 1] — useful when reporting bit-level strata
+// that observe no critical faults at all. The finite population
+// correction is applied to the variance term.
+func (c SampleSizeConfig) WilsonInterval(successes, n, populationSize int64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	z := c.Z()
+	nf := float64(n)
+	pHat := float64(successes) / nf
+	fpc := 1.0
+	if populationSize > 1 && n < populationSize {
+		fpc = (float64(populationSize) - nf) / (float64(populationSize) - 1)
+	}
+	z2 := z * z * fpc
+	denom := 1 + z2/nf
+	center := (pHat + z2/(2*nf)) / denom
+	half := z * math.Sqrt(fpc*pHat*(1-pHat)/nf+z2/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// ObservedMargin is AchievedMargin evaluated at the observed success
+// proportion pHat instead of the planning p. This is the error bar
+// reported alongside a campaign estimate (the thin black bars of
+// Figs. 5-7): e = t·sqrt(p̂·(1−p̂)/n)·sqrt((N−n)/(N−1)).
+func (c SampleSizeConfig) ObservedMargin(pHat float64, n, populationSize int64) float64 {
+	if pHat < 0 || pHat > 1 {
+		panic(fmt.Sprintf("stats: observed proportion %v outside [0,1]", pHat))
+	}
+	if n <= 0 {
+		panic("stats: non-positive sample size")
+	}
+	N := float64(populationSize)
+	if populationSize <= 1 || n >= populationSize {
+		return 0
+	}
+	t := c.Z()
+	fpc := math.Sqrt((N - float64(n)) / (N - 1))
+	return t * math.Sqrt(pHat*(1-pHat)/float64(n)) * fpc
+}

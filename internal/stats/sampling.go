@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SampleWithoutReplacement draws k distinct integers uniformly at random
+// from [0, n) using Robert Floyd's algorithm, which needs O(k) memory and
+// O(k) expected time regardless of n. Sampling without replacement is
+// what the finite population correction of Eq. 1 assumes; sampling with
+// replacement would inflate the variance for n close to N.
+//
+// The returned slice is in insertion order (not sorted). It panics if
+// k < 0, n < 0, or k > n.
+func SampleWithoutReplacement(rng *rand.Rand, n, k int64) []int64 {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("stats: cannot sample %d from %d", k, n))
+	}
+	out := make([]int64, 0, k)
+	seen := make(map[int64]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Int63n(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ProportionEstimate is the outcome of estimating a success proportion
+// from a sample drawn without replacement from a finite population.
+type ProportionEstimate struct {
+	// Successes is the number of critical outcomes observed.
+	Successes int64
+	// SampleSize is the number of trials n.
+	SampleSize int64
+	// PopulationSize is the size N of the finite population.
+	PopulationSize int64
+	// PlannedP is the a-priori success probability the stratum was
+	// planned with (Eq. 1's p). It bounds the variance attributed to a
+	// degenerate sample (0 or n successes) in stratified margins; zero
+	// means "unknown" and is treated as the worst case 0.5.
+	PlannedP float64
+}
+
+// PHat returns the point estimate x/n. It is 0 for an empty sample.
+func (p ProportionEstimate) PHat() float64 {
+	if p.SampleSize == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.SampleSize)
+}
+
+// Margin returns the half-width of the confidence interval around PHat
+// at the configuration's confidence, evaluated at the observed
+// proportion with the finite population correction. This is the error
+// bar drawn in Figs. 5-7 of the paper.
+func (p ProportionEstimate) Margin(c SampleSizeConfig) float64 {
+	if p.SampleSize == 0 {
+		return 1
+	}
+	return c.ObservedMargin(p.PHat(), p.SampleSize, p.PopulationSize)
+}
+
+// PlannedMargin returns the a-priori margin for the sample under the
+// planning p of the configuration (rather than the observed proportion).
+func (p ProportionEstimate) PlannedMargin(c SampleSizeConfig) float64 {
+	if p.SampleSize == 0 {
+		return 1
+	}
+	return c.AchievedMargin(p.SampleSize, p.PopulationSize)
+}
+
+// Covers reports whether the interval PHat ± Margin contains the value
+// (e.g. the exhaustive ground-truth proportion).
+func (p ProportionEstimate) Covers(c SampleSizeConfig, truth float64) bool {
+	m := p.Margin(c)
+	ph := p.PHat()
+	return truth >= ph-m && truth <= ph+m
+}
+
+// Combine merges per-subpopulation estimates into a single estimate for
+// the union population, weighting each subpopulation's proportion by its
+// population size (stratified estimator). The merged Successes field is
+// the implied success count rounded to the nearest integer; SampleSize
+// is the total number of injections actually performed.
+func Combine(parts []ProportionEstimate) ProportionEstimate {
+	var totalN, totalSamples int64
+	var weighted float64
+	for _, p := range parts {
+		totalN += p.PopulationSize
+		totalSamples += p.SampleSize
+		weighted += p.PHat() * float64(p.PopulationSize)
+	}
+	if totalN == 0 {
+		return ProportionEstimate{}
+	}
+	pHat := weighted / float64(totalN)
+	return ProportionEstimate{
+		Successes:      int64(pHat*float64(totalSamples) + 0.5),
+		SampleSize:     totalSamples,
+		PopulationSize: totalN,
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStratifiedPHatWeightsByPopulation(t *testing.T) {
+	s := Stratified{Parts: []ProportionEstimate{
+		{Successes: 10, SampleSize: 100, PopulationSize: 1000, PlannedP: 0.5}, // 10%
+		{Successes: 90, SampleSize: 100, PopulationSize: 9000, PlannedP: 0.5}, // 90%
+	}}
+	want := (0.1*1000 + 0.9*9000) / 10000
+	if got := s.PHat(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("pHat = %v, want %v", got, want)
+	}
+	if s.SampleSize() != 200 || s.PopulationSize() != 10000 {
+		t.Errorf("sizes = %d/%d", s.SampleSize(), s.PopulationSize())
+	}
+}
+
+func TestStratifiedEmptyIsNoInformation(t *testing.T) {
+	var s Stratified
+	if s.PHat() != 0 {
+		t.Error("empty pHat should be 0")
+	}
+	if got := s.Margin(DefaultConfig()); got != 1 {
+		t.Errorf("empty margin = %v, want 1", got)
+	}
+}
+
+// TestStratifiedMarginVsNaive: with wildly unequal sampling fractions,
+// the stratified margin must exceed the naive simple-random-sample
+// margin computed from the pooled counts — the error this type exists to
+// prevent.
+func TestStratifiedMarginVsNaive(t *testing.T) {
+	c := DefaultConfig()
+	// Stratum A: heavily sampled, p̂ = 0.5. Stratum B: barely sampled,
+	// p̂ = 0.5 too (interior so no floor logic involved).
+	s := Stratified{Parts: []ProportionEstimate{
+		{Successes: 5000, SampleSize: 10000, PopulationSize: 10001, PlannedP: 0.5},
+		{Successes: 2, SampleSize: 4, PopulationSize: 1000000, PlannedP: 0.5},
+	}}
+	naive := ProportionEstimate{
+		Successes:      5002,
+		SampleSize:     10004,
+		PopulationSize: 1010001,
+	}
+	if s.Margin(c) <= naive.Margin(c) {
+		t.Errorf("stratified margin %v should exceed naive %v", s.Margin(c), naive.Margin(c))
+	}
+}
+
+func TestStratifiedExhaustiveStratumHasNoError(t *testing.T) {
+	c := DefaultConfig()
+	s := Stratified{Parts: []ProportionEstimate{
+		{Successes: 42, SampleSize: 100, PopulationSize: 100, PlannedP: 0.5},
+	}}
+	if got := s.Margin(c); got != 0 {
+		t.Errorf("exhaustive stratum margin = %v, want 0", got)
+	}
+}
+
+func TestStratifiedUnsampledStratumWorstCase(t *testing.T) {
+	c := DefaultConfig()
+	s := Stratified{Parts: []ProportionEstimate{
+		{SampleSize: 0, PopulationSize: 1000, PlannedP: 0.5},
+	}}
+	// Worst-case variance 0.25 → margin z·0.5 clamped to 1.
+	if got := s.Margin(c); got != 1 {
+		t.Errorf("unsampled margin = %v, want 1 (clamped)", got)
+	}
+	if !s.Covers(c, 0.99) {
+		t.Error("no-information estimate must cover everything")
+	}
+}
+
+// TestStrataVarianceDegenerateFloors pins the degenerate-sample rule:
+// zero observed successes must not claim zero variance; the floor is the
+// smaller of the Anscombe plug-in and the planned Bernoulli variance.
+func TestStrataVarianceDegenerateFloors(t *testing.T) {
+	// Interior sample: plain plug-in.
+	interior := ProportionEstimate{Successes: 5, SampleSize: 10, PopulationSize: 100, PlannedP: 0.5}
+	if got := strataVariance(interior); got != 0.25 {
+		t.Errorf("interior variance = %v, want 0.25", got)
+	}
+
+	// Degenerate with agnostic planning (p = 0.5): Anscombe wins.
+	degenerate := ProportionEstimate{Successes: 0, SampleSize: 27, PopulationSize: 1000, PlannedP: 0.5}
+	adj := 0.5 / 28.0
+	want := adj * (1 - adj)
+	if got := strataVariance(degenerate); math.Abs(got-want) > 1e-12 {
+		t.Errorf("degenerate variance = %v, want Anscombe %v", got, want)
+	}
+
+	// Degenerate with a tiny planned p (data-aware mantissa stratum):
+	// the planned variance caps the floor.
+	tiny := ProportionEstimate{Successes: 0, SampleSize: 7, PopulationSize: 1000, PlannedP: 0.001}
+	if got := strataVariance(tiny); math.Abs(got-0.001*0.999) > 1e-12 {
+		t.Errorf("tiny-planned variance = %v, want 0.000999", got)
+	}
+
+	// Unknown planning defaults to worst case, so Anscombe still wins.
+	unknown := ProportionEstimate{Successes: 7, SampleSize: 7, PopulationSize: 1000}
+	adj = 7.5 / 8.0
+	if got := strataVariance(unknown); math.Abs(got-adj*(1-adj)) > 1e-12 {
+		t.Errorf("unknown-planned variance = %v", got)
+	}
+}
+
+func TestStratifiedSinglePartMatchesSimpleAtInterior(t *testing.T) {
+	c := DefaultConfig()
+	part := ProportionEstimate{Successes: 50, SampleSize: 1000, PopulationSize: 100000, PlannedP: 0.5}
+	s := Stratified{Parts: []ProportionEstimate{part}}
+	if math.Abs(s.Margin(c)-part.Margin(c)) > 1e-12 {
+		t.Errorf("single-stratum margin %v != simple margin %v", s.Margin(c), part.Margin(c))
+	}
+	if s.PHat() != part.PHat() {
+		t.Error("single-stratum pHat mismatch")
+	}
+}
+
+func TestStratifiedCovers(t *testing.T) {
+	c := DefaultConfig()
+	s := Stratified{Parts: []ProportionEstimate{
+		{Successes: 100, SampleSize: 1000, PopulationSize: 100000, PlannedP: 0.5},
+	}}
+	if !s.Covers(c, 0.1) {
+		t.Error("must cover its own point estimate")
+	}
+	if s.Covers(c, 0.9) {
+		t.Error("must not cover a distant value")
+	}
+}
+
+func TestStratifiedEmptyPopulationPartIgnored(t *testing.T) {
+	c := DefaultConfig()
+	s := Stratified{Parts: []ProportionEstimate{
+		{Successes: 10, SampleSize: 100, PopulationSize: 1000, PlannedP: 0.5},
+		{PopulationSize: 0},
+	}}
+	ref := Stratified{Parts: s.Parts[:1]}
+	if s.Margin(c) != ref.Margin(c) || s.PHat() != ref.PHat() {
+		t.Error("empty-population stratum should not affect the estimate")
+	}
+}

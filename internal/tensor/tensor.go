@@ -1,0 +1,140 @@
+// Package tensor provides a minimal dense float32 tensor used by the CNN
+// inference and training substrates. Data is stored flat in row-major
+// order; images use CHW layout (channels, height, width) and batches add
+// a leading N dimension.
+package tensor
+
+import "fmt"
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	// Shape holds the dimension sizes, outermost first.
+	Shape []int
+	// Data is the flat row-major backing storage; len(Data) equals the
+	// product of Shape.
+	Data []float32
+}
+
+// New allocates a zero-filled tensor of the given shape.
+// It panics on negative dimensions.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: make([]float32, n)}
+}
+
+// FromSlice wraps existing data in a tensor of the given shape.
+// It panics if len(data) does not match the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero sets every element to zero, keeping the allocation.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Reshape returns a view of the same data with a new shape of equal
+// volume. It panics on volume mismatch.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (len %d) to %v", t.Shape, len(t.Data), shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: t.Data}
+}
+
+// At3 returns element (c, y, x) of a CHW tensor.
+func (t *Tensor) At3(c, y, x int) float32 {
+	return t.Data[(c*t.Shape[1]+y)*t.Shape[2]+x]
+}
+
+// Set3 assigns element (c, y, x) of a CHW tensor.
+func (t *Tensor) Set3(c, y, x int, v float32) {
+	t.Data[(c*t.Shape[1]+y)*t.Shape[2]+x] = v
+}
+
+// At4 returns element (n, c, y, x) of an NCHW tensor.
+func (t *Tensor) At4(n, c, y, x int) float32 {
+	return t.Data[((n*t.Shape[1]+c)*t.Shape[2]+y)*t.Shape[3]+x]
+}
+
+// Set4 assigns element (n, c, y, x) of an NCHW tensor.
+func (t *Tensor) Set4(n, c, y, x int, v float32) {
+	t.Data[((n*t.Shape[1]+c)*t.Shape[2]+y)*t.Shape[3]+x] = v
+}
+
+// ArgMax returns the index of the largest element (first occurrence on
+// ties) or -1 for an empty tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		return -1
+	}
+	best, bestIdx := t.Data[0], 0
+	for i, v := range t.Data[1:] {
+		if v > best {
+			best = v
+			bestIdx = i + 1
+		}
+	}
+	return bestIdx
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}

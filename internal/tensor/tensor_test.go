@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndVolume(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Rank() != 3 || x.Dim(1) != 3 {
+		t.Fatalf("bad tensor: len=%d rank=%d", x.Len(), x.Rank())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dim did not panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSlice(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.Rank() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Error("FromSlice shape wrong")
+	}
+	if x.Data[5] != 6 {
+		t.Error("FromSlice lost data")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched FromSlice did not panic")
+		}
+	}()
+	FromSlice([]float32{1, 2}, 3)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Error("Clone shares data")
+	}
+	if !SameShape(x, y) {
+		t.Error("Clone changed shape")
+	}
+}
+
+func TestZeroAndFill(t *testing.T) {
+	x := New(4)
+	x.Fill(3.5)
+	for _, v := range x.Data {
+		if v != 3.5 {
+			t.Fatal("Fill failed")
+		}
+	}
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Data[0] = 7
+	if x.Data[0] != 7 {
+		t.Error("Reshape must share data")
+	}
+	if y.Dim(0) != 3 || y.Dim(1) != 4 {
+		t.Error("Reshape shape wrong")
+	}
+}
+
+func TestReshapePanicsOnVolumeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad reshape did not panic")
+		}
+	}()
+	New(2, 3).Reshape(7)
+}
+
+func TestIndexing3(t *testing.T) {
+	x := New(2, 3, 4) // CHW
+	x.Set3(1, 2, 3, 42)
+	if x.At3(1, 2, 3) != 42 {
+		t.Error("At3/Set3 roundtrip failed")
+	}
+	// Flat index check: (1*3+2)*4+3 = 23.
+	if x.Data[23] != 42 {
+		t.Error("Set3 wrote to wrong flat index")
+	}
+}
+
+func TestIndexing4(t *testing.T) {
+	x := New(2, 3, 4, 5) // NCHW
+	x.Set4(1, 2, 3, 4, 9)
+	if x.At4(1, 2, 3, 4) != 9 {
+		t.Error("At4/Set4 roundtrip failed")
+	}
+	// Flat index: ((1*3+2)*4+3)*5+4 = 119.
+	if x.Data[119] != 9 {
+		t.Error("Set4 wrote to wrong flat index")
+	}
+}
+
+func TestIndexRoundTripProperty(t *testing.T) {
+	x := New(3, 5, 7)
+	f := func(c, y, xx uint8, v float32) bool {
+		ci, yi, xi := int(c)%3, int(y)%5, int(xx)%7
+		x.Set3(ci, yi, xi, v)
+		return x.At3(ci, yi, xi) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := FromSlice([]float32{0.1, 0.9, 0.3}, 3).ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d", got)
+	}
+	// First occurrence wins on ties.
+	if got := FromSlice([]float32{5, 5, 5}, 3).ArgMax(); got != 0 {
+		t.Errorf("tie ArgMax = %d", got)
+	}
+	if got := New(0).ArgMax(); got != -1 {
+		t.Errorf("empty ArgMax = %d", got)
+	}
+	if got := FromSlice([]float32{-3, -1, -2}, 3).ArgMax(); got != 1 {
+		t.Errorf("negative ArgMax = %d", got)
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(New(2, 3), New(2, 3)) {
+		t.Error("equal shapes reported unequal")
+	}
+	if SameShape(New(2, 3), New(3, 2)) {
+		t.Error("different shapes reported equal")
+	}
+	if SameShape(New(6), New(2, 3)) {
+		t.Error("different ranks reported equal")
+	}
+}

@@ -1,0 +1,51 @@
+package sfi_test
+
+import (
+	"fmt"
+
+	"cnnsfi/sfi"
+)
+
+// ExampleDefaultConfig reproduces the sample sizes of the paper's
+// Table I/II header cases with the default (paper-compatible)
+// conventions: e = 1%, 99% confidence, t = 2.58, round-to-nearest.
+func ExampleDefaultConfig() {
+	cfg := sfi.DefaultConfig()
+	fmt.Println(cfg.SampleSize(17174144))  // ResNet-20 network-wise
+	fmt.Println(cfg.SampleSize(141029376)) // MobileNetV2 network-wise
+	fmt.Println(cfg.SampleSize(27648))     // ResNet-20 layer 0
+	// Output:
+	// 16625
+	// 16639
+	// 10389
+}
+
+// ExamplePlanLayerWise shows a complete layer-wise plan for the small
+// validation CNN.
+func ExamplePlanLayerWise() {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	space := sfi.StuckAtSpace(net)
+	plan := sfi.PlanLayerWise(space, sfi.DefaultConfig())
+	for l := 0; l < space.NumLayers(); l++ {
+		fmt.Printf("layer %d: population %d, sample %d\n",
+			l, space.LayerTotal(l), plan.LayerInjections(l))
+	}
+	// Output:
+	// layer 0: population 6912, sample 4884
+	// layer 1: population 18432, sample 8746
+	// layer 2: population 73728, sample 13577
+	// layer 3: population 10240, sample 6339
+}
+
+// ExampleAnalyzeWeights derives the data-aware per-bit criticality from
+// a network's golden weights; the exponent MSB always dominates.
+func ExampleAnalyzeWeights() {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	analysis := sfi.AnalyzeWeights(net.AllWeights())
+	fmt.Println("most critical bit:", analysis.MostCriticalBit())
+	fmt.Printf("p(30) = %.1f, p(0) < 0.001: %v\n",
+		analysis.PFor(30), analysis.PFor(0) < 0.001)
+	// Output:
+	// most critical bit: 30
+	// p(30) = 0.5, p(0) < 0.001: true
+}

@@ -1,0 +1,285 @@
+// Package sfi is the public API of the statistical fault injection (SFI)
+// library, a reproduction of "Assessing Convolutional Neural Networks
+// Reliability through Statistical Fault Injections" (Ruospo et al.,
+// DATE 2023).
+//
+// The typical workflow:
+//
+//	net, _ := sfi.BuildModel("resnet20", 1)
+//	analysis := sfi.AnalyzeWeights(net.AllWeights())      // Figs. 3-4
+//	cfg := sfi.DefaultConfig()                            // e=1%, 99%, t=2.58
+//	space := sfi.StuckAtSpace(net)                        // 17.2M faults
+//	plan := sfi.PlanDataAware(space, cfg, analysis.P)     // Table I column
+//	oracle := sfi.NewOracle(net, sfi.OracleDefaults(3))   // ground truth
+//	result := sfi.Run(oracle, plan, 0)
+//	estimate := result.LayerEstimate(14)                  // p̂ ± margin
+//
+// For inference-based injection on a real (small) network, replace the
+// oracle with sfi.NewInjector(net, dataset). Both satisfy Evaluator.
+//
+// Everything here is a thin re-export of the internal packages; see
+// DESIGN.md for the package inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package sfi
+
+import (
+	"io"
+
+	"cnnsfi/internal/core"
+	"cnnsfi/internal/dataaware"
+	"cnnsfi/internal/dataset"
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/fp"
+	"cnnsfi/internal/inject"
+	"cnnsfi/internal/models"
+	"cnnsfi/internal/nn"
+	"cnnsfi/internal/oracle"
+	"cnnsfi/internal/quantize"
+	"cnnsfi/internal/reliability"
+	"cnnsfi/internal/stats"
+	"cnnsfi/internal/train"
+)
+
+// Core methodology types.
+type (
+	// Network is a CNN with injectable weight layers.
+	Network = nn.Network
+	// Dataset is a labeled image set.
+	Dataset = dataset.Dataset
+	// DatasetConfig parameterizes the synthetic dataset generator.
+	DatasetConfig = dataset.Config
+	// Fault addresses one stuck-at or bit-flip fault.
+	Fault = faultmodel.Fault
+	// FaultSpace is a fault universe with subpopulation indexing.
+	FaultSpace = faultmodel.Space
+	// Config carries the Eq. 1 parameters (error margin, confidence, p).
+	Config = stats.SampleSizeConfig
+	// Plan is a campaign specification (the content of Tables I-II).
+	Plan = core.Plan
+	// Subpopulation is one stratum of a plan.
+	Subpopulation = core.Subpopulation
+	// Result is an executed campaign.
+	Result = core.Result
+	// Comparison judges a result against exhaustive ground truth
+	// (Table III, Figs. 5-7).
+	Comparison = core.Comparison
+	// LayerComparison is one layer's row of a Comparison.
+	LayerComparison = core.LayerComparison
+	// Approach is one of the four SFI strategies.
+	Approach = core.Approach
+	// Evaluator classifies faults (inference-based or simulated).
+	Evaluator = core.Evaluator
+	// Injector is the inference-based evaluator (PyTorchFI equivalent).
+	Injector = inject.Injector
+	// Oracle is the full-scale simulated evaluator.
+	Oracle = oracle.Oracle
+	// OracleConfig tunes the oracle's criticality surface.
+	OracleConfig = oracle.Config
+	// Analysis is a data-aware weight-distribution analysis (Figs. 3-4).
+	Analysis = dataaware.Analysis
+	// Estimate is a proportion estimate with finite-population margins.
+	Estimate = stats.ProportionEstimate
+	// StratifiedEstimate combines per-stratum estimates with the correct
+	// stratified margin (what LayerEstimate and NetworkEstimate return).
+	StratifiedEstimate = stats.Stratified
+	// Trainer runs SGD on a sequential network.
+	Trainer = train.Trainer
+	// ActivationInjector injects transient bit-flips on activations.
+	ActivationInjector = inject.ActivationInjector
+	// INT8Analysis is the data-aware analysis of INT8-quantized weights.
+	INT8Analysis = quantize.Analysis
+	// PerLayerAnalysis holds one data-aware analysis per weight layer.
+	PerLayerAnalysis = dataaware.PerLayer
+	// LayerRank is one entry of a per-layer vulnerability ranking.
+	LayerRank = core.LayerRank
+	// BitRank is one entry of a per-bit vulnerability ranking.
+	BitRank = core.BitRank
+	// SERConfig is the raw soft-error assumption (FIT per memory bit).
+	SERConfig = reliability.SERConfig
+	// ReliabilityReport is the SDC FIT assessment of a campaign result.
+	ReliabilityReport = reliability.Report
+	// Protection is a selective bit-protection scenario.
+	Protection = reliability.Protection
+	// Format is a floating-point representation (FP32/FP16/BF16).
+	Format = fp.Format
+)
+
+// The four SFI approaches, in the paper's order.
+const (
+	NetworkWise = core.NetworkWise
+	LayerWise   = core.LayerWise
+	DataUnaware = core.DataUnaware
+	DataAware   = core.DataAware
+)
+
+// Floating-point formats for the data-aware analysis.
+var (
+	// FP32 is IEEE-754 binary32, the paper's representation.
+	FP32 = fp.FP32
+	// FP16 is IEEE-754 binary16 (future-work extension).
+	FP16 = fp.FP16
+	// BF16 is bfloat16 (future-work extension).
+	BF16 = fp.BF16
+)
+
+// BuildModel constructs a registered CNN ("resnet20", "mobilenetv2", or
+// "smallcnn") with deterministic pretrained-like weights.
+func BuildModel(name string, seed int64) (*Network, error) { return models.Build(name, seed) }
+
+// ModelNames lists the registered model names.
+func ModelNames() []string { return models.Names() }
+
+// SyntheticDataset generates the CIFAR-10-like synthetic workload.
+func SyntheticDataset(cfg DatasetConfig) *Dataset { return dataset.Synthetic(cfg) }
+
+// DefaultConfig returns the paper's evaluation configuration: e = 1%,
+// 99% confidence (t = 2.58), p = 0.5, round-to-nearest.
+func DefaultConfig() Config { return stats.DefaultConfig() }
+
+// StuckAtSpace returns the network's permanent stuck-at fault universe
+// (every bit of every conv/linear weight, stuck-at-0 and stuck-at-1).
+func StuckAtSpace(net *Network) FaultSpace {
+	return faultmodel.NewStuckAt(net.LayerParamCounts(), fp.Bits32)
+}
+
+// BitFlipSpace returns the transient single-bit-flip universe.
+func BitFlipSpace(net *Network) FaultSpace {
+	return faultmodel.NewBitFlip(net.LayerParamCounts(), fp.Bits32)
+}
+
+// AnalyzeWeights runs the data-aware analysis (Eqs. 4-5) on FP32 weights.
+func AnalyzeWeights(weights []float32) *Analysis { return dataaware.AnalyzeFP32(weights) }
+
+// AnalyzeWeightsIn runs the data-aware analysis in another representation.
+func AnalyzeWeightsIn(weights []float32, format Format) *Analysis {
+	return dataaware.Analyze(weights, format)
+}
+
+// PlanNetworkWise applies Eq. 1 once to the whole population
+// (the baseline of Leveugle et al.).
+func PlanNetworkWise(space FaultSpace, cfg Config) *Plan { return core.PlanNetworkWise(space, cfg) }
+
+// PlanLayerWise applies Eq. 1 per layer.
+func PlanLayerWise(space FaultSpace, cfg Config) *Plan { return core.PlanLayerWise(space, cfg) }
+
+// PlanDataUnaware applies Eq. 1 per (bit, layer) stratum with p = 0.5.
+func PlanDataUnaware(space FaultSpace, cfg Config) *Plan { return core.PlanDataUnaware(space, cfg) }
+
+// PlanDataAware applies Eq. 1 per (bit, layer) stratum with the derived
+// per-bit probabilities (Analysis.P).
+func PlanDataAware(space FaultSpace, cfg Config, pPerBit []float64) *Plan {
+	return core.PlanDataAware(space, cfg, pPerBit)
+}
+
+// AnalyzeWeightsPerLayer runs the data-aware analysis independently per
+// layer — the per-layer refinement of the paper's network-wide p(i).
+func AnalyzeWeightsPerLayer(net *Network) *PerLayerAnalysis {
+	var layers [][]float32
+	for _, wl := range net.WeightLayers() {
+		layers = append(layers, wl.WeightData())
+	}
+	return dataaware.AnalyzePerLayer(layers, fp.FP32)
+}
+
+// PlanDataAwarePerLayer plans with per-layer per-bit probabilities
+// (PerLayerAnalysis.P()).
+func PlanDataAwarePerLayer(space FaultSpace, cfg Config, pPerLayerBit [][]float64) *Plan {
+	return core.PlanDataAwarePerLayer(space, cfg, pPerLayerBit)
+}
+
+// Run executes a plan against an evaluator, deterministically in seed.
+func Run(ev Evaluator, plan *Plan, seed int64) *Result { return core.Run(ev, plan, seed) }
+
+// Compare judges a result against per-layer exhaustive critical rates.
+func Compare(res *Result, exhaustiveByLayer []float64) *Comparison {
+	return core.Compare(res, exhaustiveByLayer)
+}
+
+// ReplicatedEstimates reruns a plan with seeds 0..n-1 and reports each
+// replica's estimate for one layer (Fig. 6's S0-S9).
+func ReplicatedEstimates(ev Evaluator, plan *Plan, layer, nReplicas int) []StratifiedEstimate {
+	return core.ReplicatedEstimates(ev, plan, layer, nReplicas)
+}
+
+// NewInjector builds the inference-based evaluator over a network and a
+// fixed evaluation set.
+func NewInjector(net *Network, ds *Dataset) *Injector { return inject.New(net, ds) }
+
+// NewOracle builds the full-scale simulated evaluator.
+func NewOracle(net *Network, cfg OracleConfig) *Oracle { return oracle.New(net, cfg) }
+
+// OracleDefaults returns the calibrated default oracle configuration.
+func OracleDefaults(seed int64) OracleConfig { return oracle.DefaultConfig(seed) }
+
+// NewTrainer builds an SGD trainer for a sequential network.
+func NewTrainer(net *Network, lr, momentum float64) (*Trainer, error) {
+	return train.New(net, lr, momentum)
+}
+
+// TrainableSmallCNN builds a fresh (untrained) SmallCNN for use with
+// NewTrainer.
+func TrainableSmallCNN(seed int64) *Network { return train.TrainableSmallCNN(seed) }
+
+// NewActivationInjector builds the transient activation-fault evaluator
+// (PyTorchFI's "neuron" injection mode): single bit-flips on weight-layer
+// outputs during individual inferences.
+func NewActivationInjector(net *Network, ds *Dataset) *ActivationInjector {
+	return inject.NewActivation(net, ds)
+}
+
+// AnalyzeWeightsINT8 quantizes the weights to symmetric INT8 and runs
+// the data-aware analysis in the integer domain (the "different data
+// representations" extension of the paper's conclusions).
+func AnalyzeWeightsINT8(weights []float32) *INT8Analysis { return quantize.Analyze(weights) }
+
+// TopSeparated reports whether the top two entries of a layer ranking
+// are statistically separated at the configuration's confidence.
+func TopSeparated(ranks []LayerRank, c Config) bool { return core.TopSeparated(ranks, c) }
+
+// ReadResultJSON deserializes a campaign result saved with
+// Result.WriteJSON.
+func ReadResultJSON(r io.Reader) (*Result, error) { return core.ReadResultJSON(r) }
+
+// RunParallel is Run with concurrent stratum evaluation (identical
+// output for identical seed). The evaluator's IsCritical must be safe
+// for concurrent use: the Oracle is, the inference injectors are not.
+func RunParallel(ev Evaluator, plan *Plan, seed int64, workers int) *Result {
+	return core.RunParallel(ev, plan, seed, workers)
+}
+
+// SaveWeights serializes a network's injectable weights (checksummed
+// binary container).
+func SaveWeights(net *Network, w io.Writer) error { return models.SaveWeights(net, w) }
+
+// LoadWeights restores weights saved with SaveWeights into a network of
+// identical topology.
+func LoadWeights(net *Network, r io.Reader) error { return models.LoadWeights(net, r) }
+
+// AssessReliability converts a bit-granular campaign result into an SDC
+// FIT report given a raw per-bit soft-error rate, enabling the
+// selective-protection what-if analysis (see internal/reliability).
+func AssessReliability(res *Result, cfg SERConfig) (*ReliabilityReport, error) {
+	return reliability.Assess(res, cfg)
+}
+
+// MissionReliability returns exp(−FIT·hours/10⁹), the survival
+// probability over a mission under a constant failure rate.
+func MissionReliability(fit, hours float64) float64 {
+	return reliability.MissionReliability(fit, hours)
+}
+
+// RequiredFIT returns the maximum tolerable SDC FIT for a target mission
+// survival probability.
+func RequiredFIT(targetReliability, hours float64) float64 {
+	return reliability.RequiredFIT(targetReliability, hours)
+}
+
+// AdjacentMBU expands a seed fault into a burst of adjacent bit-flips in
+// the same weight word (multi-bit upset); evaluate it with
+// Injector.IsCriticalMulti.
+func AdjacentMBU(seed Fault, width int) []Fault {
+	return inject.AdjacentMBU(seed, width, fp.Bits32)
+}
+
+// Accuracy returns a network's top-1 accuracy on a dataset.
+func Accuracy(net *Network, ds *Dataset) float64 { return train.Accuracy(net, ds) }

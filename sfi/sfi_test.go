@@ -1,0 +1,253 @@
+package sfi_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cnnsfi/sfi"
+)
+
+// TestEndToEndWorkflow exercises the full public API surface the way the
+// package documentation advertises it.
+func TestEndToEndWorkflow(t *testing.T) {
+	net, err := sfi.BuildModel("smallcnn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis := sfi.AnalyzeWeights(net.AllWeights())
+	cfg := sfi.DefaultConfig()
+	space := sfi.StuckAtSpace(net)
+
+	o := sfi.NewOracle(net, sfi.OracleDefaults(3))
+	truth := make([]float64, space.NumLayers())
+	for l := range truth {
+		truth[l] = o.ExhaustiveLayerRate(l)
+	}
+
+	for _, plan := range []*sfi.Plan{
+		sfi.PlanNetworkWise(space, cfg),
+		sfi.PlanLayerWise(space, cfg),
+		sfi.PlanDataUnaware(space, cfg),
+		sfi.PlanDataAware(space, cfg, analysis.P),
+	} {
+		res := sfi.Run(o, plan, 0)
+		cmp := sfi.Compare(res, truth)
+		if cmp.Injections != plan.TotalInjections() {
+			t.Errorf("%s: injections mismatch", plan.Approach)
+		}
+		if cmp.NetworkEstimate.PHat() < 0 || cmp.NetworkEstimate.PHat() > 1 {
+			t.Errorf("%s: implausible network estimate", plan.Approach)
+		}
+	}
+}
+
+func TestInjectorSatisfiesEvaluator(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	ds := sfi.SyntheticDataset(sfi.DatasetConfig{N: 4, Seed: 1, Size: 16})
+	var ev sfi.Evaluator = sfi.NewInjector(net, ds)
+	plan := sfi.PlanNetworkWise(ev.Space(), sfi.DefaultConfig())
+	// Shrink the campaign for test speed: sample only the plan's first
+	// 50 faults by restricting the subpopulation.
+	plan.Subpops[0].SampleSize = 50
+	res := sfi.Run(ev, plan, 0)
+	if res.Injections() != 50 {
+		t.Errorf("injections = %d", res.Injections())
+	}
+}
+
+func TestTrainingPath(t *testing.T) {
+	net := sfi.TrainableSmallCNN(1)
+	ds := sfi.SyntheticDataset(sfi.DatasetConfig{N: 40, Seed: 2, Size: 16, Noise: 0.1})
+	tr, err := sfi.NewTrainer(net, 0.002, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := tr.Fit(ds, 3)
+	if losses[2] >= losses[0] {
+		t.Errorf("training did not reduce loss: %v", losses)
+	}
+	if acc := sfi.Accuracy(net, ds); acc <= 0.1 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestBitFlipSpaceHalvesPopulation(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	sa := sfi.StuckAtSpace(net)
+	bf := sfi.BitFlipSpace(net)
+	if sa.Total() != 2*bf.Total() {
+		t.Errorf("stuck-at %d != 2 × bit-flip %d", sa.Total(), bf.Total())
+	}
+}
+
+func TestAnalyzeWeightsInOtherFormats(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	w := net.AllWeights()
+	if got := len(sfi.AnalyzeWeightsIn(w, sfi.FP16).P); got != 16 {
+		t.Errorf("fp16 bits = %d", got)
+	}
+	if got := len(sfi.AnalyzeWeightsIn(w, sfi.BF16).P); got != 16 {
+		t.Errorf("bf16 bits = %d", got)
+	}
+	if got := len(sfi.AnalyzeWeightsIn(w, sfi.FP32).P); got != 32 {
+		t.Errorf("fp32 bits = %d", got)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := sfi.ModelNames()
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if _, err := sfi.BuildModel(n, 1); err != nil {
+			t.Errorf("BuildModel(%q): %v", n, err)
+		}
+	}
+}
+
+func TestActivationInjectorWorkflow(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	ds := sfi.SyntheticDataset(sfi.DatasetConfig{N: 2, Seed: 1, Size: 16})
+	act := sfi.NewActivationInjector(net, ds)
+	space := act.Space()
+	if space.NumLayers() != 4 {
+		t.Fatalf("activation layers = %d", space.NumLayers())
+	}
+	// It plugs into the same planner/runner machinery.
+	cfg := sfi.DefaultConfig()
+	cfg.ErrorMargin = 0.1 // tiny campaign for test speed
+	plan := sfi.PlanLayerWise(space, cfg)
+	res := sfi.Run(act, plan, 0)
+	if res.Injections() != plan.TotalInjections() {
+		t.Error("activation campaign incomplete")
+	}
+}
+
+func TestINT8AnalysisWorkflow(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	a := sfi.AnalyzeWeightsINT8(net.AllWeights())
+	if len(a.P) != 8 {
+		t.Fatalf("int8 bits = %d", len(a.P))
+	}
+	// The sign bit (7) dominates in the integer representation.
+	for i := 0; i < 7; i++ {
+		if a.P[7] < a.P[i] {
+			t.Errorf("int8 bit 7 should dominate bit %d", i)
+		}
+	}
+}
+
+func TestRankingAndSerializationWorkflow(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	o := sfi.NewOracle(net, sfi.OracleDefaults(3))
+	plan := sfi.PlanDataUnaware(o.Space(), sfi.DefaultConfig())
+	res := sfi.Run(o, plan, 0)
+
+	if got := res.MostCriticalBit(); got != 30 {
+		t.Errorf("most critical bit = %d", got)
+	}
+	ranks := res.RankLayers()
+	if len(ranks) != 4 {
+		t.Fatalf("ranks = %d", len(ranks))
+	}
+	_ = sfi.TopSeparated(ranks, sfi.DefaultConfig())
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sfi.ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MostCriticalBit() != 30 {
+		t.Error("reloaded result disagrees")
+	}
+}
+
+func TestResNetFamilyViaFacade(t *testing.T) {
+	for _, name := range []string{"resnet32", "resnet44", "resnet56"} {
+		net, err := sfi.BuildModel(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if net.NetName != name {
+			t.Errorf("name = %q", net.NetName)
+		}
+	}
+}
+
+func TestFacadeCoverageSweep(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+
+	// Checkpointing wrappers.
+	var buf bytes.Buffer
+	if err := sfi.SaveWeights(net, &buf); err != nil {
+		t.Fatal(err)
+	}
+	clone, _ := sfi.BuildModel("smallcnn", 2)
+	if err := sfi.LoadWeights(clone, &buf); err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := net.AllWeights(), clone.AllWeights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("checkpoint wrappers lost weights")
+		}
+	}
+
+	// Parallel runner wrapper.
+	o := sfi.NewOracle(net, sfi.OracleDefaults(3))
+	plan := sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig())
+	serial := sfi.Run(o, plan, 1)
+	parallel := sfi.RunParallel(o, plan, 1, 2)
+	if serial.Injections() != parallel.Injections() {
+		t.Error("parallel wrapper mismatch")
+	}
+
+	// Reliability wrappers.
+	res := sfi.Run(o, sfi.PlanDataUnaware(o.Space(), sfi.DefaultConfig()), 0)
+	rep, err := sfi.AssessReliability(res, sfi.SERConfig{RawFITPerBit: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SDCFIT <= 0 {
+		t.Error("zero FIT")
+	}
+	if r := sfi.MissionReliability(rep.SDCFIT, 1e4); r <= 0 || r > 1 {
+		t.Errorf("mission reliability = %v", r)
+	}
+	if sfi.RequiredFIT(0.99, 1e4) <= 0 {
+		t.Error("required FIT")
+	}
+
+	// Per-layer analysis wrapper.
+	pl := sfi.AnalyzeWeightsPerLayer(net)
+	if len(pl.P()) != 4 {
+		t.Errorf("per-layer rows = %d", len(pl.P()))
+	}
+	if sfi.PlanDataAwarePerLayer(o.Space(), sfi.DefaultConfig(), pl.P()).TotalInjections() <= 0 {
+		t.Error("per-layer plan empty")
+	}
+}
+
+func TestMBUFacade(t *testing.T) {
+	net, _ := sfi.BuildModel("smallcnn", 1)
+	ds := sfi.SyntheticDataset(sfi.DatasetConfig{N: 4, Seed: 1, Size: 16})
+	inj := sfi.NewInjector(net, ds)
+	seed := sfi.Fault{Layer: 0, Param: 0, Bit: 28}
+	burst := sfi.AdjacentMBU(seed, 3)
+	if len(burst) != 3 {
+		t.Fatalf("burst = %v", burst)
+	}
+	_ = inj.IsCriticalMulti(burst) // must not panic and must restore
+	before := net.AllWeights()
+	inj.IsCriticalMulti(burst)
+	after := net.AllWeights()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("MBU experiment leaked weight mutation")
+		}
+	}
+}
