@@ -1,0 +1,32 @@
+# Developer entry points. Everything is plain `go` — no external tools.
+#
+#   make build   compile every package and command
+#   make test    run the full test suite (tier-1 gate, with build)
+#   make race    run the concurrency-relevant packages under the race
+#                detector (slow: real inference under -race)
+#   make vet     static analysis
+#   make bench   the serial-vs-parallel runner benchmarks
+#   make verify  what CI would run: build + vet + test
+#
+# Override GO to pin a toolchain: `make test GO=go1.22`.
+
+GO ?= go
+
+.PHONY: build test race vet bench verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/inject/ ./internal/nn/ ./sfi/
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkParallel_ -benchtime 3x .
+
+verify: build vet test

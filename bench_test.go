@@ -15,6 +15,8 @@
 //	BenchmarkFig7_MobileNetV2PerLayer     Fig. 7
 //	BenchmarkSmallCNN_Exhaustive*         the inference-based validation
 //	BenchmarkAblation_*                   design-choice ablations
+//	BenchmarkParallel_*                   serial vs shard-parallel runner
+//	                                      (both evaluator families)
 //
 // Key quantities are attached as custom benchmark metrics
 // (injections/op, avg_margin_pct, …), so `go test -bench=.` both
@@ -508,6 +510,78 @@ func BenchmarkAblation_CriterionChoice(b *testing.B) {
 		}
 		inj.Criterion = inject.SDC
 	}
+}
+
+// benchSerialVsParallel measures the serial Run against the
+// shard-parallel RunParallel (2 and 4 workers) on the same plan, as
+// sub-benchmarks, so the ns/op ratio is the wall-clock speedup
+// (EXPERIMENTS.md records the measured ratios; on a single-core host
+// the runners tie, on an n-core host the network-wise plan — one
+// stratum, previously unparallelizable — scales with min(n, workers)).
+// It first asserts the results are bit-identical: parallelism must
+// never change the statistics it accelerates.
+func benchSerialVsParallel(b *testing.B, ev sfi.Evaluator, plan *sfi.Plan) {
+	serial := sfi.Run(ev, plan, 0)
+	parallel := sfi.RunParallel(ev, plan, 0, 4)
+	for i := range serial.Estimates {
+		if parallel.Estimates[i] != serial.Estimates[i] {
+			b.Fatalf("stratum %d: parallel result diverged from serial", i)
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sfi.Run(ev, plan, int64(i))
+		}
+	})
+	for _, w := range []int{2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sfi.RunParallel(ev, plan, int64(i), w)
+			}
+		})
+	}
+}
+
+// inferenceBenchConfig relaxes the error margin to 2% for the
+// inference-family parallel benchmarks: real forward passes are ~10³×
+// the cost of an oracle verdict, and the speedup ratio is margin-
+// independent.
+func inferenceBenchConfig() sfi.Config {
+	cfg := sfi.DefaultConfig()
+	cfg.ErrorMargin = 0.02
+	return cfg
+}
+
+func BenchmarkParallel_NetworkWiseOracle(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	benchSerialVsParallel(b, o, sfi.PlanNetworkWise(o.Space(), sfi.DefaultConfig()))
+}
+
+func BenchmarkParallel_LayerWiseOracle(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	benchSerialVsParallel(b, o, sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig()))
+}
+
+func BenchmarkParallel_DataAwareOracle(b *testing.B) {
+	net, o, _ := resnetFixture(b)
+	analysis := sfi.AnalyzeWeights(net.AllWeights())
+	benchSerialVsParallel(b, o, sfi.PlanDataAware(o.Space(), sfi.DefaultConfig(), analysis.P))
+}
+
+func BenchmarkParallel_NetworkWiseInference(b *testing.B) {
+	_, inj := smallFixture(b)
+	benchSerialVsParallel(b, inj, sfi.PlanNetworkWise(inj.Space(), inferenceBenchConfig()))
+}
+
+func BenchmarkParallel_LayerWiseInference(b *testing.B) {
+	_, inj := smallFixture(b)
+	benchSerialVsParallel(b, inj, sfi.PlanLayerWise(inj.Space(), inferenceBenchConfig()))
+}
+
+func BenchmarkParallel_DataAwareInference(b *testing.B) {
+	net, inj := smallFixture(b)
+	analysis := sfi.AnalyzeWeights(net.AllWeights())
+	benchSerialVsParallel(b, inj, sfi.PlanDataAware(inj.Space(), inferenceBenchConfig(), analysis.P))
 }
 
 // BenchmarkAblation_PerLayerDataAware compares the paper's network-wide

@@ -10,6 +10,10 @@
 // simulated ground truth, default; see DESIGN.md for the substitution
 // argument) or "inference" (real forward-pass injection; only feasible
 // for -model smallcnn).
+//
+// Campaigns run shard-parallel on all cores by default; -workers 1
+// forces the serial runner. The two are interchangeable: the same
+// -run-seed produces bit-identical results at any worker count.
 package main
 
 import (
@@ -36,7 +40,7 @@ func main() {
 	fig7 := flag.Bool("fig7", false, "print Fig. 7 series")
 	layer := flag.Int("layer", 0, "layer for -fig6")
 	replicas := flag.Int("replicas", 10, "replicated samples for -fig6")
-	workers := flag.Int("workers", 1, "concurrent evaluation workers (oracle substrate only; 0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = serial; both substrates — the inference injector clones per-worker weights)")
 	flag.Parse()
 
 	if !*table3 && !*fig5 && !*fig6 && !*fig7 {
@@ -81,8 +85,10 @@ func main() {
 	cfg := sfi.DefaultConfig()
 	analysis := sfi.AnalyzeWeights(net.AllWeights())
 
+	// Same seed ⇒ bit-identical Result either way; -workers only changes
+	// wall-clock time.
 	run := func(plan *sfi.Plan, seed int64) *sfi.Result {
-		if *substrate == "oracle" && *workers != 1 {
+		if *workers != 1 {
 			return sfi.RunParallel(ev, plan, seed, *workers)
 		}
 		return sfi.Run(ev, plan, seed)

@@ -53,7 +53,8 @@ func main() {
 	}
 	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	// Table III: cost/validity trade-off.
+	// Table III: cost/validity trade-off. Campaigns run shard-parallel
+	// on every core; the seed fixes the result regardless of worker count.
 	t3 := report.NewTable("Table III — MobileNetV2",
 		"Approach", "FIs (n)", "Injected Faults [%]", "Avg Error Margin [%]", "Covered layers")
 	t3.AddRow("exhaustive", space.Total(), "100.00%", "-", "-")
@@ -64,7 +65,7 @@ func main() {
 		{"network-wise", network}, {"layer-wise", layer},
 		{"data-unaware", unaware}, {"data-aware", aware},
 	} {
-		cmp := sfi.Compare(sfi.Run(o, p.plan, 0), truth)
+		cmp := sfi.Compare(sfi.RunParallel(o, p.plan, 0, 0), truth)
 		t3.AddRow(p.name, cmp.Injections, report.Pct(cmp.InjectedFraction),
 			fmt.Sprintf("%.3f", cmp.AvgMargin*100),
 			fmt.Sprintf("%d/%d", cmp.CoveredLayers, space.NumLayers()))
@@ -72,8 +73,8 @@ func main() {
 	t3.Render(os.Stdout)
 
 	// Fig. 7 flavor: the first layers where network-wise goes wrong.
-	nw := sfi.Compare(sfi.Run(o, network, 0), truth)
-	da := sfi.Compare(sfi.Run(o, aware, 0), truth)
+	nw := sfi.Compare(sfi.RunParallel(o, network, 0, 0), truth)
+	da := sfi.Compare(sfi.RunParallel(o, aware, 0, 0), truth)
 	fmt.Println("\nFig. 7 excerpt — per-layer estimates (first 10 layers):")
 	fmt.Println("layer  exhaustive    network-wise (± margin)    data-aware (± margin)")
 	for l := 0; l < 10; l++ {

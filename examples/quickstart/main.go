@@ -33,10 +33,12 @@ func main() {
 	fmt.Printf("data-aware plan: %d injections (%.2f%% of the population)\n",
 		plan.TotalInjections(), plan.InjectedFraction()*100)
 
-	// 3. Execute against the ground-truth substrate and compare with the
+	// 3. Execute against the ground-truth substrate on all cores
+	//    (workers = 0 selects GOMAXPROCS; the same seed gives a result
+	//    bit-identical to the serial sfi.Run) and compare with the
 	//    exhaustive per-layer critical rates.
 	o := sfi.NewOracle(net, sfi.OracleDefaults(3))
-	result := sfi.Run(o, plan, 0)
+	result := sfi.RunParallel(o, plan, 0, 0)
 
 	fmt.Println("\nlayer  exhaustive   estimate ± margin   covered")
 	for l := 0; l < space.NumLayers(); l++ {

@@ -81,9 +81,11 @@ func main() {
 		fmt.Printf("\nlayer %d exhaustive: %d faults, %.4f%% critical (%v)\n",
 			l, n, truth*100, time.Since(start).Round(time.Millisecond))
 
-		// Statistical estimates for the same layer.
+		// Statistical estimates for the same layer, evaluated on all
+		// cores: the injector clones its network weights per worker, and
+		// the result is bit-identical to the serial sfi.Run at seed 0.
 		for _, p := range plans {
-			res := sfi.Run(inj, p.plan, 0)
+			res := sfi.RunParallel(inj, p.plan, 0, 0)
 			est := res.LayerEstimate(l)
 			fmt.Printf("  %-13s n=%7d  estimate %.4f%% ± %.4f%%  covers=%v\n",
 				p.name, est.SampleSize(), est.PHat()*100, est.Margin(cfg)*100,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 
@@ -10,91 +11,197 @@ import (
 	"cnnsfi/internal/stats"
 )
 
-// RunParallel executes a plan like Run, evaluating strata concurrently
-// on up to workers goroutines (0 selects GOMAXPROCS). The evaluator's
-// IsCritical must be safe for concurrent use: the oracle substrate is;
-// the inference-based injectors are NOT (they mutate live network
-// weights), so use Run with those.
+// WorkerCloner is implemented by evaluators whose IsCritical is not safe
+// for concurrent use but which can produce independent per-worker
+// copies. RunParallel gives every worker beyond the first its own clone,
+// which is how the inference-based inject.Injector — whose experiments
+// mutate live network weights — runs one campaign on all cores.
+// Evaluators that do not implement WorkerCloner are shared across
+// workers and must have a concurrency-safe IsCritical (see Evaluator).
+type WorkerCloner interface {
+	Evaluator
+	// CloneForWorker returns an evaluator over the same fault space
+	// whose IsCritical may run concurrently with the receiver's and
+	// with other clones'.
+	CloneForWorker() Evaluator
+}
+
+// validateDecode enables defensive validation of every fault decoded in
+// the shard-evaluation path (decodeFaultChecked instead of decodeFault).
+// It is off by default — the decode arithmetic is pinned by tests — and
+// can be switched on for production campaigns by setting the
+// SFI_VALIDATE_DECODE environment variable to any non-empty value.
+var validateDecode = os.Getenv("SFI_VALIDATE_DECODE") != ""
+
+// shardOversubscription sets how many shards each worker receives on
+// average. A few shards per worker smooth out unequal shard costs
+// (SDC early exit makes critical faults much cheaper than benign ones)
+// without measurable scheduling overhead.
+const shardOversubscription = 4
+
+// RunParallel executes a plan like Run, spreading the evaluation over up
+// to workers goroutines (0 selects GOMAXPROCS).
 //
-// The result is identical to Run with the same seed: every stratum's
-// sample is drawn up-front from its own sub-generator, so the draw does
-// not depend on evaluation interleaving.
+// Determinism guarantee: for the same seed, the Result is bit-identical
+// to Run's, regardless of worker count. Every stratum's sample is drawn
+// up-front from the master generator in plan order (exactly as Run
+// consumes it), the drawn sample is split into contiguous shards whose
+// tallies are plain integer sums, and the per-shard tallies are merged
+// in shard order after all workers finish — so neither the draw nor the
+// tally depends on evaluation interleaving.
+//
+// Work is sharded *within* strata, not just across them: a
+// single-stratum network-wise plan saturates all workers just like a
+// 640-stratum data-aware plan.
+//
+// Concurrency contract: an evaluator implementing WorkerCloner (the
+// inference-based inject.Injector) is cloned once per extra worker;
+// any other evaluator (the oracle substrate, the activation injector)
+// is shared and must be safe for concurrent IsCritical calls.
 func RunParallel(ev Evaluator, plan *Plan, seed int64, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	space := ev.Space()
-
-	// Deterministic per-stratum draws: each stratum gets a generator
-	// seeded from the master sequence in plan order, mirroring Run's
-	// single-stream consumption (see drawAll).
 	samples := drawAll(plan, seed)
+	shards := makeShards(plan, samples, workers)
 
-	type job struct{ stratum int }
-	jobs := make(chan job)
-	res := &Result{Plan: plan, Estimates: make([]stats.ProportionEstimate, len(plan.Subpops))}
+	// Per-worker evaluators: worker 0 keeps the original; the rest get
+	// clones when the evaluator requires isolation.
+	evals := make([]Evaluator, workers)
+	for w := range evals {
+		evals[w] = ev
+		if w > 0 {
+			if c, ok := ev.(WorkerCloner); ok {
+				evals[w] = c.CloneForWorker()
+			}
+		}
+	}
 
-	// Network-wise layer slices need a merge step; collect per worker.
-	sliceParts := make([]map[int]*stats.ProportionEstimate, len(plan.Subpops))
-
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(ev Evaluator) {
 			defer wg.Done()
-			for j := range jobs {
-				sub := plan.Subpops[j.stratum]
-				var successes int64
-				var perLayer map[int]*stats.ProportionEstimate
-				if sub.Layer < 0 {
-					perLayer = make(map[int]*stats.ProportionEstimate)
-				}
-				for _, idx := range samples[j.stratum] {
-					f := decodeFault(space, sub, idx)
-					critical := ev.IsCritical(f)
-					if critical {
-						successes++
-					}
-					if perLayer != nil {
-						pl := perLayer[f.Layer]
-						if pl == nil {
-							pl = &stats.ProportionEstimate{
-								PopulationSize: space.LayerTotal(f.Layer),
-								PlannedP:       sub.P,
-							}
-							perLayer[f.Layer] = pl
-						}
-						pl.SampleSize++
-						if critical {
-							pl.Successes++
-						}
-					}
-				}
-				res.Estimates[j.stratum] = stats.ProportionEstimate{
-					Successes:      successes,
-					SampleSize:     sub.SampleSize,
-					PopulationSize: sub.Population,
-					PlannedP:       sub.P,
-				}
-				sliceParts[j.stratum] = perLayer
+			for k := range jobs {
+				shards[k].evaluate(ev, space, plan)
 			}
-		}()
+		}(evals[w])
 	}
-	for i := range plan.Subpops {
-		jobs <- job{stratum: i}
+	for k := range shards {
+		jobs <- k
 	}
 	close(jobs)
 	wg.Wait()
 
-	for _, perLayer := range sliceParts {
-		if perLayer == nil {
-			continue
+	return mergeShards(plan, shards)
+}
+
+// shard is one contiguous slice of one stratum's drawn sample, plus the
+// tallies its evaluation produced.
+type shard struct {
+	stratum   int
+	idx       []int64
+	successes int64
+	// perLayer collects the per-layer slices of a network-wise stratum's
+	// global sample (nil for layer- or bit-granular strata).
+	perLayer map[int]*stats.ProportionEstimate
+}
+
+// makeShards splits every stratum's sample into contiguous chunks of
+// roughly total/(workers·shardOversubscription) draws. Small strata stay
+// whole; a single large stratum fans out across all workers.
+func makeShards(plan *Plan, samples [][]int64, workers int) []*shard {
+	chunk := int(plan.TotalInjections() / int64(workers*shardOversubscription))
+	if chunk < 1 {
+		chunk = 1
+	}
+	var shards []*shard
+	for i := range plan.Subpops {
+		idx := samples[i]
+		for start := 0; start < len(idx); start += chunk {
+			end := start + chunk
+			if end > len(idx) {
+				end = len(idx)
+			}
+			shards = append(shards, &shard{stratum: i, idx: idx[start:end]})
 		}
-		if res.LayerSlices == nil {
-			res.LayerSlices = make(map[int]stats.ProportionEstimate, len(perLayer))
+	}
+	return shards
+}
+
+// evaluate runs the shard's experiments against one evaluator. Each
+// shard is touched by exactly one worker, so no locking is needed.
+func (s *shard) evaluate(ev Evaluator, space faultmodel.Space, plan *Plan) {
+	sub := plan.Subpops[s.stratum]
+	if sub.Layer < 0 {
+		s.perLayer = make(map[int]*stats.ProportionEstimate)
+	}
+	for _, j := range s.idx {
+		f := decodeShardFault(space, sub, j)
+		critical := ev.IsCritical(f)
+		if critical {
+			s.successes++
 		}
-		for l, pl := range perLayer {
-			res.LayerSlices[l] = *pl
+		if s.perLayer != nil {
+			pl := s.perLayer[f.Layer]
+			if pl == nil {
+				pl = &stats.ProportionEstimate{
+					PopulationSize: space.LayerTotal(f.Layer),
+					PlannedP:       sub.P,
+				}
+				s.perLayer[f.Layer] = pl
+			}
+			pl.SampleSize++
+			if critical {
+				pl.Successes++
+			}
+		}
+	}
+}
+
+// decodeShardFault maps a stratum-local index to a concrete fault,
+// validating the decode when SFI_VALIDATE_DECODE is set.
+func decodeShardFault(space faultmodel.Space, sub Subpopulation, j int64) faultmodel.Fault {
+	if validateDecode {
+		f, err := decodeFaultChecked(space, sub, j)
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+	return decodeFault(space, sub, j)
+}
+
+// mergeShards folds the per-shard tallies into a Result in shard order.
+// Every tally is an integer sum over disjoint slices of the serial
+// iteration order, so the merged result is bit-identical to Run's.
+func mergeShards(plan *Plan, shards []*shard) *Result {
+	res := &Result{Plan: plan, Estimates: make([]stats.ProportionEstimate, len(plan.Subpops))}
+	for i, sub := range plan.Subpops {
+		res.Estimates[i] = stats.ProportionEstimate{
+			SampleSize:     sub.SampleSize,
+			PopulationSize: sub.Population,
+			PlannedP:       sub.P,
+		}
+		if sub.Layer < 0 && res.LayerSlices == nil {
+			res.LayerSlices = make(map[int]stats.ProportionEstimate)
+		}
+	}
+	for _, s := range shards {
+		res.Estimates[s.stratum].Successes += s.successes
+		for l, pl := range s.perLayer {
+			agg, ok := res.LayerSlices[l]
+			if !ok {
+				agg = stats.ProportionEstimate{
+					PopulationSize: pl.PopulationSize,
+					PlannedP:       pl.PlannedP,
+				}
+			}
+			agg.SampleSize += pl.SampleSize
+			agg.Successes += pl.Successes
+			res.LayerSlices[l] = agg
 		}
 	}
 	return res
@@ -111,7 +218,8 @@ func drawAll(plan *Plan, seed int64) [][]int64 {
 	return out
 }
 
-// decodeFaultChecked is decodeFault with validation, used by tests.
+// decodeFaultChecked is decodeFault with validation; the shard runner
+// uses it when SFI_VALIDATE_DECODE is set.
 func decodeFaultChecked(space faultmodel.Space, sub Subpopulation, j int64) (faultmodel.Fault, error) {
 	f := decodeFault(space, sub, j)
 	if err := space.Validate(f); err != nil {

@@ -1,41 +1,86 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
+	"cnnsfi/internal/dataaware"
+	"cnnsfi/internal/models"
 	"cnnsfi/internal/stats"
 )
 
+// allApproachPlans builds one plan per sampling approach over the same
+// fault space, so determinism tests cover every stratification shape:
+// one stratum (network-wise), per-layer strata, and per-(layer,bit)
+// strata with both uniform and data-aware planned probabilities.
+func allApproachPlans(t testing.TB) (*Plan, *Plan, *Plan, *Plan) {
+	t.Helper()
+	o, _ := smallOracle(t)
+	cfg := stats.DefaultConfig()
+	p := dataaware.AnalyzeFP32(models.SmallCNN(1).AllWeights()).P
+	return PlanNetworkWise(o.Space(), cfg),
+		PlanLayerWise(o.Space(), cfg),
+		PlanDataUnaware(o.Space(), cfg),
+		PlanDataAware(o.Space(), cfg, p)
+}
+
+// requireSameResult fails unless a and b are bit-identical: same
+// estimates in the same order and the same per-layer slices (compared
+// in both directions so an extra key on either side is caught).
+func requireSameResult(t *testing.T, label string, serial, parallel *Result) {
+	t.Helper()
+	if len(parallel.Estimates) != len(serial.Estimates) {
+		t.Fatalf("%s: %d estimates, want %d", label, len(parallel.Estimates), len(serial.Estimates))
+	}
+	for i := range serial.Estimates {
+		if parallel.Estimates[i] != serial.Estimates[i] {
+			t.Fatalf("%s stratum %d: %+v != %+v",
+				label, i, parallel.Estimates[i], serial.Estimates[i])
+		}
+	}
+	if len(parallel.LayerSlices) != len(serial.LayerSlices) {
+		t.Fatalf("%s: %d layer slices, want %d",
+			label, len(parallel.LayerSlices), len(serial.LayerSlices))
+	}
+	for l, est := range serial.LayerSlices {
+		got, ok := parallel.LayerSlices[l]
+		if !ok || got != est {
+			t.Fatalf("%s layer slice %d: %+v != %+v", label, l, got, est)
+		}
+	}
+}
+
 // TestRunParallelMatchesRun: identical seeds must produce bit-identical
 // results regardless of worker count — parallel execution must not
-// change the statistics.
+// change the statistics. Covers all four sampling approaches,
+// including the network-wise single stratum whose LayerSlices are
+// re-derived from shard-merged per-layer tallies.
 func TestRunParallelMatchesRun(t *testing.T) {
 	o, _ := smallOracle(t)
-	for _, plan := range []*Plan{
-		PlanNetworkWise(o.Space(), stats.DefaultConfig()),
-		PlanLayerWise(o.Space(), stats.DefaultConfig()),
-		PlanDataUnaware(o.Space(), stats.DefaultConfig()),
-	} {
+	nw, lw, du, da := allApproachPlans(t)
+	for _, plan := range []*Plan{nw, lw, du, da} {
 		serial := Run(o, plan, 5)
-		for _, workers := range []int{0, 1, 4} {
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0), 0} {
 			parallel := RunParallel(o, plan, 5, workers)
-			if len(parallel.Estimates) != len(serial.Estimates) {
-				t.Fatalf("%s: estimate count mismatch", plan.Approach)
-			}
-			for i := range serial.Estimates {
-				if parallel.Estimates[i] != serial.Estimates[i] {
-					t.Fatalf("%s workers=%d stratum %d: %+v != %+v",
-						plan.Approach, workers, i, parallel.Estimates[i], serial.Estimates[i])
-				}
-			}
-			if plan.Approach == NetworkWise {
-				for l, est := range serial.LayerSlices {
-					if parallel.LayerSlices[l] != est {
-						t.Fatalf("layer slice %d mismatch", l)
-					}
-				}
-			}
+			requireSameResult(t, string(plan.Approach), serial, parallel)
 		}
+	}
+}
+
+// TestRunParallelValidateDecode runs the shard path with the
+// SFI_VALIDATE_DECODE cross-check enabled: every decoded fault is
+// round-tripped through decodeFaultChecked, and the result must still
+// match the serial runner (the check may only verify, never alter).
+func TestRunParallelValidateDecode(t *testing.T) {
+	old := validateDecode
+	validateDecode = true
+	defer func() { validateDecode = old }()
+
+	o, _ := smallOracle(t)
+	nw, _, _, da := allApproachPlans(t)
+	for _, plan := range []*Plan{nw, da} {
+		requireSameResult(t, string(plan.Approach)+"+validate",
+			Run(o, plan, 2), RunParallel(o, plan, 2, 4))
 	}
 }
 
@@ -47,6 +92,35 @@ func TestRunParallelRace(t *testing.T) {
 	res := RunParallel(o, plan, 0, 8)
 	if res.Injections() != plan.TotalInjections() {
 		t.Errorf("injections = %d, want %d", res.Injections(), plan.TotalInjections())
+	}
+}
+
+// TestMakeShards checks the shard partition: contiguous, in order,
+// covering every drawn index exactly once, and never more than
+// workers×shardOversubscription non-empty chunks per stratum than
+// needed.
+func TestMakeShards(t *testing.T) {
+	_, lw, _, _ := allApproachPlans(t)
+	samples := drawAll(lw, 7)
+	shards := makeShards(lw, samples, 4)
+
+	next := make([]int, len(samples)) // cursor per stratum
+	for _, sh := range shards {
+		if len(sh.idx) == 0 {
+			t.Fatal("empty shard emitted")
+		}
+		for _, v := range sh.idx {
+			want := samples[sh.stratum][next[sh.stratum]]
+			if v != want {
+				t.Fatalf("stratum %d: shard order diverges from draw order", sh.stratum)
+			}
+			next[sh.stratum]++
+		}
+	}
+	for s := range samples {
+		if next[s] != len(samples[s]) {
+			t.Errorf("stratum %d: %d of %d drawn indices sharded", s, next[s], len(samples[s]))
+		}
 	}
 }
 

@@ -9,10 +9,19 @@ import (
 )
 
 // Evaluator classifies a single fault as Critical or Non-critical. It is
-// implemented by the inference-based injector (package inject) and by
+// implemented by the inference-based injectors (package inject) and by
 // the full-scale simulated substrate (package oracle).
+//
+// Concurrency rule: Run never calls IsCritical concurrently, so any
+// Evaluator works there. RunParallel shares the evaluator across
+// workers — IsCritical must then be safe for concurrent use (the oracle
+// and the activation injector are) — unless the evaluator also
+// implements WorkerCloner, in which case each worker gets its own clone
+// (the weight injector, which mutates live network weights, does this).
 type Evaluator interface {
-	// IsCritical runs one fault-injection experiment.
+	// IsCritical runs one fault-injection experiment. The verdict must
+	// be a pure function of the fault and the evaluator's golden state:
+	// the campaign runners evaluate samples in arbitrary shard order.
 	IsCritical(f faultmodel.Fault) bool
 	// Space returns the fault universe the evaluator covers.
 	Space() faultmodel.Space
@@ -34,9 +43,10 @@ type Result struct {
 	LayerSlices map[int]stats.ProportionEstimate
 }
 
-// Run draws each stratum's sample without replacement and evaluates it.
-// The draw is deterministic in seed, so replicated samples S0-S9 of
-// Fig. 6 are Run calls with seeds 0..9.
+// Run draws each stratum's sample without replacement and evaluates it
+// serially. The draw is deterministic in seed, so replicated samples
+// S0-S9 of Fig. 6 are Run calls with seeds 0..9, and RunParallel with
+// the same seed returns a bit-identical Result at any worker count.
 func Run(ev Evaluator, plan *Plan, seed int64) *Result {
 	space := ev.Space()
 	rng := rand.New(rand.NewSource(seed))

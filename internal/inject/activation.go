@@ -2,6 +2,7 @@ package inject
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cnnsfi/internal/dataset"
 	"cnnsfi/internal/faultmodel"
@@ -23,6 +24,12 @@ import (
 // the universe is exposed as a faultmodel.Space whose per-layer
 // "parameter" count is elements × images, so every planner in package
 // core works on it unchanged.
+//
+// Unlike the weight Injector, IsCritical is safe for concurrent use:
+// the network weights are never modified, each experiment corrupts a
+// private copy of one cached activation tensor, and the experiment
+// counter is updated atomically. core.RunParallel can therefore share
+// one ActivationInjector across all workers without cloning.
 type ActivationInjector struct {
 	// Net is the network under test (its weights are never modified).
 	Net *nn.Network
@@ -34,7 +41,8 @@ type ActivationInjector struct {
 	elems  []int // output elements per weight layer
 	space  faultmodel.Space
 
-	// Injections counts the experiments run.
+	// Injections counts the experiments run. It is updated atomically;
+	// read it only after concurrent evaluation has been joined.
 	Injections int64
 }
 
@@ -83,13 +91,13 @@ func (inj *ActivationInjector) Decode(f faultmodel.Fault) (elem, image int) {
 // IsCritical runs one transient-fault experiment: corrupt one bit of one
 // activation element during one image's inference and check whether its
 // top-1 prediction changes. The golden prefix cache makes this a
-// suffix-only re-execution.
+// suffix-only re-execution. It is safe for concurrent use.
 func (inj *ActivationInjector) IsCritical(f faultmodel.Fault) bool {
 	if f.Model != faultmodel.BitFlip {
 		panic(fmt.Sprintf("inject: activation faults are transient bit-flips, got %v", f.Model))
 	}
 	elem, image := inj.Decode(f)
-	inj.Injections++
+	atomic.AddInt64(&inj.Injections, 1)
 
 	node := inj.nodes[f.Layer]
 	cache := inj.caches[image]

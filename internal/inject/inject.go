@@ -13,11 +13,18 @@
 //   - Early exit: under the SDC criterion a fault is Critical as soon as
 //     one image's top-1 prediction changes, so critical faults terminate
 //     after the first mismatching image.
+//
+// A third lever is parallelism: Injector.Clone produces per-worker
+// copies that share the (immutable) golden state but own independent
+// weight storage, so core.RunParallel can evaluate one campaign on all
+// cores while each worker mutates only its private network.
 package inject
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"cnnsfi/internal/core"
 	"cnnsfi/internal/dataset"
 	"cnnsfi/internal/faultmodel"
 	"cnnsfi/internal/fp"
@@ -58,8 +65,12 @@ func (c Criterion) String() string {
 }
 
 // Injector owns a network, a fixed evaluation set, and the golden
-// (fault-free) reference state. It is not safe for concurrent use: a
-// fault mutates the network weights in place.
+// (fault-free) reference state. A single Injector is not safe for
+// concurrent use — a fault mutates the network weights in place — but
+// Clone produces independent per-worker copies that are: each clone
+// owns a private copy of the injectable weights and shares the
+// immutable golden state, which is how core.RunParallel evaluates an
+// inference-based campaign on all cores.
 type Injector struct {
 	// Net is the network under test.
 	Net *nn.Network
@@ -77,8 +88,15 @@ type Injector struct {
 	nodes  []int              // graph node index per weight layer
 	acc    float64            // golden top-1 accuracy
 
-	// Injections counts the experiments run, for reporting.
+	// Injections counts the experiments run, for reporting. Clones
+	// aggregate their counts here too (atomically), so after a parallel
+	// campaign the root injector's counter covers all workers. Read it
+	// only after the campaign's goroutines have been joined.
 	Injections int64
+
+	// count is where experiment counts accumulate: the root injector's
+	// own Injections field, shared by every clone derived from it.
+	count *int64
 }
 
 // New builds an injector over the network and evaluation set, computing
@@ -92,6 +110,7 @@ func New(net *nn.Network, ds *dataset.Dataset) *Injector {
 		Net:    net,
 		layers: net.WeightLayers(),
 	}
+	inj.count = &inj.Injections
 	for l := range inj.layers {
 		inj.nodes = append(inj.nodes, net.WeightNodeIndex(l))
 	}
@@ -130,6 +149,54 @@ func (inj *Injector) GoldenPredictions() []int {
 // NumImages returns the evaluation-set size.
 func (inj *Injector) NumImages() int { return len(inj.images) }
 
+// Clone returns an injector that shares this one's immutable golden
+// state (evaluation images, labels, golden predictions, per-image
+// activation caches, fault space) but owns an independent deep copy of
+// the network's injectable weights, so the clone's IsCritical may run
+// concurrently with the original's and with other clones'. Experiment
+// counts from every clone aggregate atomically into the root injector's
+// Injections field. Cloning copies only the weight tensors (~1 MiB for
+// ResNet-20); the golden activation caches — the expensive part of New —
+// are reused.
+func (inj *Injector) Clone() *Injector {
+	// Field-wise copy rather than `*inj`: the Injections field is
+	// atomically incremented by running clones, and a whole-struct copy
+	// would read it non-atomically (a data race when cloning while
+	// sibling clones evaluate).
+	c := &Injector{
+		Net:       inj.Net.Clone(),
+		Criterion: inj.Criterion,
+		Threshold: inj.Threshold,
+		images:    inj.images,
+		labels:    inj.labels,
+		golden:    inj.golden,
+		caches:    inj.caches,
+		space:     inj.space,
+		nodes:     inj.nodes,
+		acc:       inj.acc,
+		count:     inj.count,
+	}
+	if c.count == nil { // zero-value parent never initialised its counter
+		c.count = &inj.Injections
+	}
+	c.layers = c.Net.WeightLayers()
+	return c
+}
+
+// CloneForWorker implements core.WorkerCloner, letting core.RunParallel
+// give each evaluation worker its own isolated injector.
+func (inj *Injector) CloneForWorker() core.Evaluator { return inj.Clone() }
+
+// countInjection bumps the campaign-wide experiment counter. The root
+// injector counts into its own Injections field; clones count into
+// their root's.
+func (inj *Injector) countInjection() {
+	if inj.count == nil { // zero-value Injector, serial use only
+		inj.count = &inj.Injections
+	}
+	atomic.AddInt64(inj.count, 1)
+}
+
 // Apply injects the fault into the network weights and returns a restore
 // function that must be called to undo it. Any of the three fault models
 // is accepted (campaigns sample from the stuck-at universe, but the
@@ -166,7 +233,7 @@ func (inj *Injector) Apply(f faultmodel.Fault) (restore func()) {
 func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
 	restore := inj.Apply(f)
 	defer restore()
-	inj.Injections++
+	inj.countInjection()
 
 	from := inj.nodes[f.Layer]
 	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))
@@ -206,7 +273,7 @@ func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
 func (inj *Injector) MismatchCount(f faultmodel.Fault) int {
 	restore := inj.Apply(f)
 	defer restore()
-	inj.Injections++
+	inj.countInjection()
 
 	from := inj.nodes[f.Layer]
 	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))

@@ -31,7 +31,7 @@ func (inj *Injector) IsCriticalMulti(faults []faultmodel.Fault) bool {
 			restores[i]()
 		}
 	}()
-	inj.Injections++
+	inj.countInjection()
 
 	from := inj.nodes[earliest]
 	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"cnnsfi/internal/tensor"
+)
+
+// cloneTestNet builds a small conv→bn→relu→gap→linear network with
+// random weights; enough structure to exercise every Clone concern
+// (two weight-layer kinds, a lazily-folded BatchNorm, stateless
+// layers).
+func cloneTestNet() *Network {
+	rng := rand.New(rand.NewSource(7))
+	n := NewNetwork("clone-test")
+	c := NewConv2D("conv", 2, 4, 3, 1, 1, 1)
+	randomize(rng, c.W, 0.5)
+	n.Add(c)
+	n.Add(NewBatchNorm2D("bn", 4))
+	n.Add(&ReLU{Label: "relu"})
+	n.Add(&GlobalAvgPool{Label: "gap"})
+	l := NewLinear("fc", 4, 3)
+	randomize(rng, l.W, 0.5)
+	n.Add(l)
+	return n
+}
+
+// TestCloneWeightsIndependent: mutating a clone's weights must leave
+// the original bit-exact, and vice versa — the property RunParallel's
+// per-worker injector clones rely on.
+func TestCloneWeightsIndependent(t *testing.T) {
+	orig := cloneTestNet()
+	clone := orig.Clone()
+
+	before := orig.AllWeights()
+	for _, wl := range clone.WeightLayers() {
+		w := wl.WeightData()
+		for i := range w {
+			w[i] = -99
+		}
+	}
+	after := orig.AllWeights()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("weight %d of the original changed through the clone", i)
+		}
+	}
+
+	orig.WeightLayers()[0].WeightData()[0] = 42
+	if clone.WeightLayers()[0].WeightData()[0] == 42 {
+		t.Fatal("weight written on the original leaked into the clone")
+	}
+}
+
+// TestClonePredictsIdentically: same input, same scores — the clone
+// shares the graph and stateless layers and copies only weights.
+func TestClonePredictsIdentically(t *testing.T) {
+	orig := cloneTestNet()
+	clone := orig.Clone()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		x := tensor.New(2, 8, 8)
+		randomize(rng, x.Data, 1)
+		a, b := orig.Forward(x), clone.Forward(x)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("trial %d: clone output diverges at %d: %v != %v",
+					trial, i, b.Data[i], a.Data[i])
+			}
+		}
+	}
+}
+
+// TestCloneRefoldsBatchNorm: Clone must eagerly fold shared BatchNorm
+// layers so concurrent first Forwards never race on the lazy fold.
+func TestCloneRefoldsBatchNorm(t *testing.T) {
+	orig := cloneTestNet()
+	bn := orig.Nodes[1].Layer.(*BatchNorm2D)
+	if bn.scale != nil {
+		t.Fatal("test premise broken: BatchNorm folded before Clone")
+	}
+	orig.Clone()
+	if bn.scale == nil {
+		t.Fatal("Clone left the shared BatchNorm unfolded")
+	}
+}
+
+// TestCloneKeepsMetadata: the clone must be a drop-in Network — same
+// name, layer count, weight-layer indexing and totals.
+func TestCloneKeepsMetadata(t *testing.T) {
+	orig := cloneTestNet()
+	clone := orig.Clone()
+	if clone.NetName != orig.NetName {
+		t.Errorf("name %q, want %q", clone.NetName, orig.NetName)
+	}
+	if len(clone.Nodes) != len(orig.Nodes) {
+		t.Errorf("nodes %d, want %d", len(clone.Nodes), len(orig.Nodes))
+	}
+	if clone.TotalWeights() != orig.TotalWeights() {
+		t.Errorf("total weights %d, want %d", clone.TotalWeights(), orig.TotalWeights())
+	}
+	if len(clone.WeightLayers()) != len(orig.WeightLayers()) {
+		t.Errorf("weight layers %d, want %d", len(clone.WeightLayers()), len(orig.WeightLayers()))
+	}
+}

@@ -51,6 +51,15 @@ func (c *Conv2D) WeightData() []float32 { return c.W }
 // ResNet-20 layer 0 (3×3×3→16).
 func (c *Conv2D) NumWeights() int { return len(c.W) }
 
+// CloneWeights returns a copy of the convolution with detached weight
+// storage. The bias slice is shared: it is not part of the fault
+// population and is never mutated by injection.
+func (c *Conv2D) CloneWeights() WeightLayer {
+	cl := *c
+	cl.W = append([]float32(nil), c.W...)
+	return &cl
+}
+
 // OutSize returns the spatial output size for an input of size in.
 func (c *Conv2D) OutSize(in int) int { return (in+2*c.Pad-c.KH)/c.Stride + 1 }
 
@@ -144,6 +153,14 @@ func (l *Linear) WeightData() []float32 { return l.W }
 
 // NumWeights returns In·Out.
 func (l *Linear) NumWeights() int { return len(l.W) }
+
+// CloneWeights returns a copy of the layer with detached weight storage;
+// the bias slice is shared (injection never mutates it).
+func (l *Linear) CloneWeights() WeightLayer {
+	cl := *l
+	cl.W = append([]float32(nil), l.W...)
+	return &cl
+}
 
 // Forward computes W·x (+ bias) for a rank-1 input of length In.
 func (l *Linear) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {

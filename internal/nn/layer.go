@@ -37,6 +37,20 @@ type WeightLayer interface {
 	NumWeights() int
 }
 
+// WeightCloner is implemented by weight layers that can produce an
+// independent copy whose weight storage is detached from the original.
+// Network.Clone relies on it to build per-worker networks for
+// concurrent fault injection: fault campaigns mutate only WeightData,
+// so a clone with fresh weight storage is fully isolated even when the
+// rest of the layer state is shared.
+type WeightCloner interface {
+	WeightLayer
+	// CloneWeights returns a copy of the layer with freshly allocated
+	// weight storage holding the same values. State that injection
+	// never mutates (bias, hyperparameters) may be shared.
+	CloneWeights() WeightLayer
+}
+
 // ReLU applies max(0, x) elementwise.
 type ReLU struct{ Label string }
 

@@ -84,6 +84,34 @@ func (n *Network) TotalWeights() int {
 	return total
 }
 
+// Clone returns a copy of the network for concurrent fault injection:
+// every weight layer's storage is deep-copied (via WeightCloner), so
+// mutating a clone's weights never affects the original or other
+// clones, while stateless layers (activations, pooling, shortcuts,
+// batch normalization) are shared read-only. Lazily folded state
+// (BatchNorm2D's scale/shift) is folded eagerly first, so the shared
+// layers are never written after cloning — Forward on the original and
+// any number of clones may then run concurrently. It panics if a weight
+// layer does not implement WeightCloner.
+func (n *Network) Clone() *Network {
+	c := &Network{NetName: n.NetName}
+	c.Nodes = append([]Node(nil), n.Nodes...)
+	c.weightNodes = append([]int(nil), n.weightNodes...)
+	for _, node := range n.Nodes {
+		if bn, ok := node.Layer.(*BatchNorm2D); ok && bn.scale == nil {
+			bn.Refold()
+		}
+	}
+	for _, id := range n.weightNodes {
+		wc, ok := n.Nodes[id].Layer.(WeightCloner)
+		if !ok {
+			panic(fmt.Sprintf("nn: weight layer %q does not support cloning", n.Nodes[id].Layer.Name()))
+		}
+		c.Nodes[id].Layer = wc.CloneWeights()
+	}
+	return c
+}
+
 // Forward runs the whole network on one CHW input and returns the output
 // scores.
 func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {

@@ -11,11 +11,16 @@
 //	space := sfi.StuckAtSpace(net)                        // 17.2M faults
 //	plan := sfi.PlanDataAware(space, cfg, analysis.P)     // Table I column
 //	oracle := sfi.NewOracle(net, sfi.OracleDefaults(3))   // ground truth
-//	result := sfi.Run(oracle, plan, 0)
+//	result := sfi.RunParallel(oracle, plan, 0, 0)         // all cores
 //	estimate := result.LayerEstimate(14)                  // p̂ ± margin
 //
 // For inference-based injection on a real (small) network, replace the
-// oracle with sfi.NewInjector(net, dataset). Both satisfy Evaluator.
+// oracle with sfi.NewInjector(net, dataset). Both satisfy Evaluator,
+// and both run under RunParallel: the injector clones its network
+// weights per worker (WorkerCloner), the oracle is concurrency-safe as
+// is. Run and RunParallel are deterministic in the seed — the same seed
+// yields a bit-identical Result at any worker count — so parallelism
+// never changes the statistics.
 //
 // Everything here is a thin re-export of the internal packages; see
 // DESIGN.md for the package inventory and EXPERIMENTS.md for the
@@ -69,6 +74,10 @@ type (
 	Approach = core.Approach
 	// Evaluator classifies faults (inference-based or simulated).
 	Evaluator = core.Evaluator
+	// WorkerCloner is an Evaluator that supplies per-worker clones for
+	// RunParallel (implemented by Injector; the Oracle and the
+	// ActivationInjector are concurrency-safe without cloning).
+	WorkerCloner = core.WorkerCloner
 	// Injector is the inference-based evaluator (PyTorchFI equivalent).
 	Injector = inject.Injector
 	// Oracle is the full-scale simulated evaluator.
@@ -187,7 +196,10 @@ func PlanDataAwarePerLayer(space FaultSpace, cfg Config, pPerLayerBit [][]float6
 	return core.PlanDataAwarePerLayer(space, cfg, pPerLayerBit)
 }
 
-// Run executes a plan against an evaluator, deterministically in seed.
+// Run executes a plan against an evaluator on one goroutine.
+// Determinism guarantee: the Result is a pure function of (plan, seed) —
+// the same seed always yields the same Result, and RunParallel with the
+// same seed yields a bit-identical one at any worker count.
 func Run(ev Evaluator, plan *Plan, seed int64) *Result { return core.Run(ev, plan, seed) }
 
 // Compare judges a result against per-layer exhaustive critical rates.
@@ -240,9 +252,14 @@ func TopSeparated(ranks []LayerRank, c Config) bool { return core.TopSeparated(r
 // Result.WriteJSON.
 func ReadResultJSON(r io.Reader) (*Result, error) { return core.ReadResultJSON(r) }
 
-// RunParallel is Run with concurrent stratum evaluation (identical
-// output for identical seed). The evaluator's IsCritical must be safe
-// for concurrent use: the Oracle is, the inference injectors are not.
+// RunParallel is Run spread over up to workers goroutines (0 selects
+// GOMAXPROCS). Every stratum's pre-drawn sample is sharded across the
+// workers, so even a single-stratum network-wise plan saturates all
+// cores. Determinism guarantee: the same seed yields a Result
+// bit-identical to Run's, regardless of worker count. Both evaluator
+// families are supported — the Oracle and ActivationInjector are shared
+// (concurrency-safe), and the Injector is cloned per worker
+// (WorkerCloner) because its experiments mutate live network weights.
 func RunParallel(ev Evaluator, plan *Plan, seed int64, workers int) *Result {
 	return core.RunParallel(ev, plan, seed, workers)
 }
