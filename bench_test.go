@@ -17,6 +17,7 @@
 //	BenchmarkAblation_*                   design-choice ablations
 //	BenchmarkParallel_*                   serial vs shard-parallel runner
 //	                                      (both evaluator families)
+//	BenchmarkEngine_Overhead              engine vs legacy wrapper cost
 //
 // Key quantities are attached as custom benchmark metrics
 // (injections/op, avg_margin_pct, …), so `go test -bench=.` both
@@ -24,6 +25,7 @@
 package cnnsfi_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -582,6 +584,44 @@ func BenchmarkParallel_DataAwareInference(b *testing.B) {
 	net, inj := smallFixture(b)
 	analysis := sfi.AnalyzeWeights(net.AllWeights())
 	benchSerialVsParallel(b, inj, sfi.PlanDataAware(inj.Space(), inferenceBenchConfig(), analysis.P))
+}
+
+// BenchmarkEngine_Overhead prices the unified campaign engine against
+// the legacy entry points it replaced. Run/RunParallel are now thin
+// wrappers over NewEngine(...).Execute, so "wrapper" vs "engine" at the
+// same worker count isolates pure wrapper cost (one allocation + a
+// context plumb) — the ns/op pairs should tie within noise, which is
+// the evidence that unifying the runners cost nothing
+// (EXPERIMENTS.md records the measured ratios). Oracle layer-wise plan:
+// big enough to amortize setup, cheap enough for -benchtime defaults.
+func BenchmarkEngine_Overhead(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	plan := sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig())
+	ctx := context.Background()
+	b.Run("wrapper/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sfi.Run(o, plan, int64(i))
+		}
+	})
+	b.Run("engine/serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sfi.NewEngine(sfi.WithWorkers(1)).Execute(ctx, o, plan, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wrapper/workers=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sfi.RunParallel(o, plan, int64(i), 4)
+		}
+	})
+	b.Run("engine/workers=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sfi.NewEngine(sfi.WithWorkers(4)).Execute(ctx, o, plan, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblation_PerLayerDataAware compares the paper's network-wide

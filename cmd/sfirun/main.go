@@ -11,21 +11,38 @@
 // argument) or "inference" (real forward-pass injection; only feasible
 // for -model smallcnn).
 //
-// Campaigns run shard-parallel on all cores by default; -workers 1
-// forces the serial runner. The two are interchangeable: the same
-// -run-seed produces bit-identical results at any worker count.
+// Campaigns run through the unified engine, shard-parallel on all cores
+// by default; -workers 1 forces serial evaluation. The same -run-seed
+// produces bit-identical results at any worker count — and across
+// interruption: with -checkpoint set, a campaign killed by -timeout or
+// Ctrl-C persists its per-stratum tallies and a later invocation with
+// -resume continues where it left off, ending in the exact Result an
+// uninterrupted run would have produced. -progress streams per-stratum
+// completion, running critical tallies, and injections/sec to stderr;
+// -early-stop halts each stratum once its achieved margin (Eq. 3
+// inverted at the observed proportion) reaches the target.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"cnnsfi/internal/core"
 	"cnnsfi/internal/oracle"
 	"cnnsfi/internal/report"
 	"cnnsfi/sfi"
 )
+
+// fatalf prints one actionable line and exits — the CLI never panics on
+// bad input.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sfirun: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	model := flag.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
@@ -34,6 +51,8 @@ func main() {
 	runSeed := flag.Int64("run-seed", 0, "sampling seed")
 	substrate := flag.String("substrate", "oracle", "evaluator: oracle or inference")
 	images := flag.Int("images", 8, "evaluation-set size for the inference substrate")
+	margin := flag.Float64("margin", 0.01, "requested error margin e, in (0,1)")
+	confidence := flag.Float64("confidence", 0.99, "confidence level, in (0,1)")
 	table3 := flag.Bool("table3", false, "print Table III")
 	fig5 := flag.Bool("fig5", false, "print Fig. 5 series")
 	fig6 := flag.Bool("fig6", false, "print Fig. 6 series")
@@ -41,7 +60,38 @@ func main() {
 	layer := flag.Int("layer", 0, "layer for -fig6")
 	replicas := flag.Int("replicas", 10, "replicated samples for -fig6")
 	workers := flag.Int("workers", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = serial; both substrates — the inference injector clones per-worker weights)")
+	progress := flag.Bool("progress", false, "stream campaign progress to stderr")
+	checkpoint := flag.String("checkpoint", "", "checkpoint path prefix; campaigns persist per-stratum tallies there (one file per approach)")
+	resume := flag.Bool("resume", false, "resume campaigns from existing -checkpoint files")
+	timeout := flag.Duration("timeout", 0, "abort campaigns after this duration (0 = none); with -checkpoint, progress is preserved")
+	earlyStop := flag.Float64("early-stop", -1, "stop each stratum at this achieved margin (0 = the requested -margin; negative = disabled)")
 	flag.Parse()
+
+	// Validate inputs up-front with actionable one-line errors.
+	if *workers < 0 {
+		fatalf("-workers must be >= 0 (got %d); 0 selects all cores", *workers)
+	}
+	if *margin <= 0 || *margin >= 1 {
+		fatalf("-margin must be inside (0,1) (got %v); the paper uses 0.01", *margin)
+	}
+	if *confidence <= 0 || *confidence >= 1 {
+		fatalf("-confidence must be inside (0,1) (got %v); the paper uses 0.99", *confidence)
+	}
+	if *earlyStop >= 1 {
+		fatalf("-early-stop must be below 1 (got %v); it is an error margin, not a percentage", *earlyStop)
+	}
+	if *resume && *checkpoint == "" {
+		fatalf("-resume needs -checkpoint to know where the saved campaign lives")
+	}
+	if *timeout < 0 {
+		fatalf("-timeout must be >= 0 (got %v)", *timeout)
+	}
+	if *images <= 0 {
+		fatalf("-images must be > 0 (got %d)", *images)
+	}
+	if *replicas <= 0 {
+		fatalf("-replicas must be > 0 (got %d)", *replicas)
+	}
 
 	if !*table3 && !*fig5 && !*fig6 && !*fig7 {
 		*table3 = true
@@ -49,8 +99,17 @@ func main() {
 
 	net, err := sfi.BuildModel(*model, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("unknown model %q; available: %v", *model, sfi.ModelNames())
+	}
+
+	// Campaigns stop cleanly on Ctrl-C or -timeout; with -checkpoint the
+	// tallies survive for a -resume invocation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var ev sfi.Evaluator
@@ -67,8 +126,7 @@ func main() {
 		ev = o
 	case "inference":
 		if *model != "smallcnn" {
-			fmt.Fprintln(os.Stderr, "inference substrate: exhaustive validation is only feasible for -model smallcnn")
-			os.Exit(1)
+			fatalf("inference substrate: exhaustive validation is only feasible for -model smallcnn")
 		}
 		ds := sfi.SyntheticDataset(sfi.DatasetConfig{N: *images, Seed: 1, Size: 16})
 		inj := sfi.NewInjector(net, ds)
@@ -77,21 +135,48 @@ func main() {
 		exhaustive = exhaustiveByInference(inj)
 		ev = inj
 	default:
-		fmt.Fprintf(os.Stderr, "unknown substrate %q\n", *substrate)
-		os.Exit(1)
+		fatalf("unknown substrate %q; available: oracle, inference", *substrate)
 	}
 
 	space := ev.Space()
 	cfg := sfi.DefaultConfig()
+	cfg.ErrorMargin = *margin
+	cfg.Confidence = *confidence
 	analysis := sfi.AnalyzeWeights(net.AllWeights())
 
-	// Same seed ⇒ bit-identical Result either way; -workers only changes
-	// wall-clock time.
-	run := func(plan *sfi.Plan, seed int64) *sfi.Result {
-		if *workers != 1 {
-			return sfi.RunParallel(ev, plan, seed, *workers)
+	// Same seed ⇒ bit-identical Result at any worker count, with or
+	// without an interrupt/resume cycle in between.
+	run := func(name string, plan *sfi.Plan, seed int64) *sfi.Result {
+		opts := []sfi.EngineOption{sfi.WithWorkers(*workers)}
+		if *checkpoint != "" {
+			opts = append(opts, sfi.WithCheckpoint(fmt.Sprintf("%s.%s.ckpt", *checkpoint, name)))
+			if *resume {
+				opts = append(opts, sfi.WithResume())
+			}
 		}
-		return sfi.Run(ev, plan, seed)
+		if *progress {
+			opts = append(opts, sfi.WithProgress(progressPrinter(name)))
+		}
+		if *earlyStop >= 0 {
+			opts = append(opts, sfi.WithEarlyStop(*earlyStop))
+		}
+		res, err := sfi.NewEngine(opts...).Execute(ctx, ev, plan, seed)
+		if err != nil {
+			if res != nil && res.Partial {
+				fmt.Fprintf(os.Stderr, "sfirun: campaign %q interrupted after %s of %s injections (%v)\n",
+					name, report.Comma(res.Injections()), report.Comma(plan.TotalInjections()), err)
+				if *checkpoint != "" {
+					fmt.Fprintf(os.Stderr, "sfirun: tallies saved; rerun with -checkpoint %s -resume to continue\n", *checkpoint)
+				}
+				os.Exit(1)
+			}
+			fatalf("campaign %q: %v", name, err)
+		}
+		if n := len(res.EarlyStopped); n > 0 {
+			fmt.Fprintf(os.Stderr, "sfirun: %s: early stop halted %d/%d strata (%s of %s planned injections)\n",
+				name, n, len(plan.Subpops), report.Comma(res.Injections()), report.Comma(plan.TotalInjections()))
+		}
+		return res
 	}
 
 	plans := map[string]*sfi.Plan{
@@ -108,7 +193,7 @@ func main() {
 			"Approach", "FIs (n)", "Injected Faults [%]", "Avg Error Margin [%] (acceptable<1%)", "Covered layers")
 		tab.AddRow("exhaustive", space.Total(), "100.00%", "-", "-")
 		for _, name := range order {
-			cmp := sfi.Compare(run(plans[name], *runSeed), exhaustive)
+			cmp := sfi.Compare(run(name, plans[name], *runSeed), exhaustive)
 			tab.AddRow(name, cmp.Injections, report.Pct(cmp.InjectedFraction),
 				fmt.Sprintf("%.3f", cmp.AvgMargin*100),
 				fmt.Sprintf("%d/%d", cmp.CoveredLayers, space.NumLayers()))
@@ -119,8 +204,8 @@ func main() {
 
 	if *fig5 {
 		fmt.Printf("# Fig. 5 — %s: per-layer critical rate, layer-wise and data-aware SFI vs exhaustive\n", net.NetName)
-		lw := sfi.Compare(run(plans["layer-wise"], *runSeed), exhaustive)
-		da := sfi.Compare(run(plans["data-aware"], *runSeed), exhaustive)
+		lw := sfi.Compare(run("layer-wise", plans["layer-wise"], *runSeed), exhaustive)
+		da := sfi.Compare(run("data-aware", plans["data-aware"], *runSeed), exhaustive)
 		csv := report.NewCSV(os.Stdout,
 			"layer", "exhaustive",
 			"layerwise_est", "layerwise_margin", "layerwise_n",
@@ -135,6 +220,9 @@ func main() {
 	}
 
 	if *fig6 {
+		if *layer < 0 || *layer >= space.NumLayers() {
+			fatalf("-layer must be in [0, %d) for %s", space.NumLayers(), net.NetName)
+		}
 		fmt.Printf("# Fig. 6 — %s layer %d: %d replicated samples per approach (exhaustive = %.4f%%)\n",
 			net.NetName, *layer, *replicas, exhaustive[*layer]*100)
 		csv := report.NewCSV(os.Stdout, "approach", "sample", "n", "estimate", "margin", "covers_exhaustive")
@@ -150,8 +238,8 @@ func main() {
 
 	if *fig7 {
 		fmt.Printf("# Fig. 7 — %s: per-layer critical rate, network-wise vs data-aware vs exhaustive\n", net.NetName)
-		nw := sfi.Compare(run(plans["network-wise"], *runSeed), exhaustive)
-		da := sfi.Compare(run(plans["data-aware"], *runSeed), exhaustive)
+		nw := sfi.Compare(run("network-wise", plans["network-wise"], *runSeed), exhaustive)
+		da := sfi.Compare(run("data-aware", plans["data-aware"], *runSeed), exhaustive)
 		csv := report.NewCSV(os.Stdout,
 			"layer", "exhaustive",
 			"networkwise_est", "networkwise_margin", "networkwise_n",
@@ -162,6 +250,26 @@ func main() {
 				a.Estimate.PHat(), a.Margin, a.Estimate.SampleSize(),
 				b.Estimate.PHat(), b.Margin, b.Estimate.SampleSize())
 		}
+	}
+}
+
+// progressPrinter renders streaming engine events as stderr lines, one
+// per progress interval plus a final summary.
+func progressPrinter(name string) sfi.ProgressSink {
+	return func(p sfi.Progress) {
+		pct := 0.0
+		if p.Planned > 0 {
+			pct = float64(p.Done) / float64(p.Planned) * 100
+		}
+		if p.Final {
+			fmt.Fprintf(os.Stderr, "%s: done %s/%s injections (%.1f%%) critical=%s in %s (%.0f inj/s)\n",
+				name, report.Comma(p.Done), report.Comma(p.Planned), pct,
+				report.Comma(p.Critical), p.Elapsed.Round(time.Millisecond), p.Rate)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s/%s injections (%.1f%%) critical=%s stratum %d (%s/%s) %.0f inj/s\n",
+			name, report.Comma(p.Done), report.Comma(p.Planned), pct, report.Comma(p.Critical),
+			p.Stratum, report.Comma(p.StratumDone), report.Comma(p.StratumPlanned), p.Rate)
 	}
 }
 

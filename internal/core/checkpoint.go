@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"cnnsfi/internal/stats"
+)
+
+// checkpointVersion is bumped whenever the on-disk schema changes
+// incompatibly.
+const checkpointVersion = 1
+
+// checkpointStratum is one stratum's persisted tally: how many draws of
+// its sample (a pure function of plan + seed) have been evaluated, and
+// what they produced. Cursor always sits on a shard boundary of the
+// worker count that wrote it, so resuming at the same worker count
+// re-evaluates nothing and re-creates the exact shard layout.
+type checkpointStratum struct {
+	Cursor    int64                             `json:"cursor"`
+	Successes int64                             `json:"successes"`
+	Stopped   bool                              `json:"stopped,omitempty"`
+	PerLayer  map[int]stats.ProportionEstimate  `json:"per_layer,omitempty"`
+}
+
+// checkpointDoc is the stable on-disk schema of a campaign checkpoint.
+// The fingerprint binds it to one exact plan (approach, config, space,
+// strata) and the seed to one exact sample, so a checkpoint can never be
+// silently resumed against a different campaign.
+type checkpointDoc struct {
+	Version     int                 `json:"version"`
+	Seed        int64               `json:"seed"`
+	Fingerprint uint64              `json:"plan_fingerprint"`
+	Injections  int64               `json:"injections"`
+	Strata      []checkpointStratum `json:"strata"`
+}
+
+// planFingerprint hashes everything that determines a campaign's draw
+// and tally: the approach, the Eq. 1 configuration, the fault space,
+// and every stratum's bounds.
+func planFingerprint(plan *Plan) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%v|%v|%d|%v|%d|",
+		plan.Approach, plan.Config, plan.Space.LayerParams, plan.Space.Bits,
+		plan.Space.Variants, len(plan.Subpops))
+	for _, s := range plan.Subpops {
+		fmt.Fprintf(h, "%d,%d,%d,%d,%g;", s.Layer, s.Bit, s.Population, s.SampleSize, s.P)
+	}
+	return h.Sum64()
+}
+
+// writeCheckpoint atomically persists the current per-stratum prefix
+// tallies (write to a temp file, then rename).
+func (x *execution) writeCheckpoint(path string) error {
+	doc := checkpointDoc{
+		Version:     checkpointVersion,
+		Seed:        x.seed,
+		Fingerprint: planFingerprint(x.plan),
+		Injections:  x.merged,
+		Strata:      make([]checkpointStratum, len(x.strata)),
+	}
+	for i, st := range x.strata {
+		cs := checkpointStratum{Cursor: st.cursor, Successes: st.successes, Stopped: st.stopped}
+		if len(st.perLayer) > 0 {
+			cs.PerLayer = make(map[int]stats.ProportionEstimate, len(st.perLayer))
+			for l, pl := range st.perLayer {
+				cs.PerLayer[l] = *pl
+			}
+		}
+		doc.Strata[i] = cs
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint restores per-stratum tallies from a checkpoint written
+// for the same plan and seed. A missing file is not an error — the
+// campaign simply starts fresh, which makes resume-or-start idempotent
+// for callers.
+func (x *execution) loadCheckpoint(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	var doc checkpointDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("core: decoding checkpoint %s: %w", path, err)
+	}
+	if doc.Version != checkpointVersion {
+		return fmt.Errorf("core: checkpoint %s has version %d (want %d)", path, doc.Version, checkpointVersion)
+	}
+	if doc.Seed != x.seed {
+		return fmt.Errorf("core: checkpoint %s was written for seed %d, not %d — resuming would break bit-identity",
+			path, doc.Seed, x.seed)
+	}
+	if got, want := doc.Fingerprint, planFingerprint(x.plan); got != want {
+		return fmt.Errorf("core: checkpoint %s belongs to a different plan (fingerprint %x, want %x)",
+			path, got, want)
+	}
+	if len(doc.Strata) != len(x.strata) {
+		return fmt.Errorf("core: checkpoint %s has %d strata for a %d-stratum plan",
+			path, len(doc.Strata), len(x.strata))
+	}
+	for i, cs := range doc.Strata {
+		sub := x.plan.Subpops[i]
+		if cs.Cursor < 0 || cs.Cursor > sub.SampleSize {
+			return fmt.Errorf("core: checkpoint %s stratum %d cursor %d outside [0, %d]",
+				path, i, cs.Cursor, sub.SampleSize)
+		}
+		st := x.strata[i]
+		st.cursor = cs.Cursor
+		st.successes = cs.Successes
+		st.stopped = cs.Stopped
+		if len(cs.PerLayer) > 0 && st.perLayer == nil {
+			st.perLayer = make(map[int]*stats.ProportionEstimate, len(cs.PerLayer))
+		}
+		for l, pl := range cs.PerLayer {
+			pl := pl
+			st.perLayer[l] = &pl
+		}
+		x.merged += cs.Cursor
+		x.critical += cs.Successes
+	}
+	x.restored = x.merged
+	return nil
+}

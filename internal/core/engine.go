@@ -1,0 +1,575 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/stats"
+)
+
+// Engine is the unified campaign executor: one pipeline
+// (draw → decode → evaluate → tally) behind a functional-options
+// configuration, with the operational affordances long campaigns need —
+// cooperative cancellation through context.Context, streaming progress
+// events, checkpoint/resume, and margin-based early stop. Run and
+// RunParallel are thin compatibility wrappers over it.
+//
+// Determinism guarantee (the anchor every feature preserves): every
+// stratum's sample is drawn up-front from one seeded generator in plan
+// order, the drawn samples are split into contiguous shards, and
+// per-shard tallies are merged strictly in draw order — so a completed
+// campaign's Result is a pure function of (plan, seed), bit-identical
+// across worker counts and across interrupt/resume cycles.
+//
+// An Engine is immutable after NewEngine and safe to reuse across
+// Execute calls (each call keeps its own run state), but two concurrent
+// Execute calls sharing one checkpoint path would race on the file.
+type Engine struct {
+	workers         int
+	progress        ProgressSink
+	progressEvery   int64
+	checkpointPath  string
+	checkpointEvery int64
+	resume          bool
+	earlyStop       bool
+	earlyStopTarget float64
+	validate        bool
+}
+
+// Option configures an Engine (functional options).
+type Option func(*Engine)
+
+// WithWorkers sets the evaluation worker count. 0 (the default) selects
+// GOMAXPROCS; 1 evaluates serially in draw order, exactly like the
+// classic Run.
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithProgress installs a streaming progress sink (see ProgressSink).
+func WithProgress(sink ProgressSink) Option { return func(e *Engine) { e.progress = sink } }
+
+// WithProgressInterval sets how many tallied injections elapse between
+// progress events (default 10,000). Values < 1 are treated as 1.
+func WithProgressInterval(n int64) Option { return func(e *Engine) { e.progressEvery = n } }
+
+// WithCheckpoint enables periodic campaign checkpoints at path: the
+// per-stratum cursor + tallies + seed are serialized so an interrupted
+// campaign can resume (WithResume) and produce a Result bit-identical
+// to an uninterrupted run at the same seed. A checkpoint is also
+// written when the context is cancelled, and the file is removed when
+// the campaign completes.
+func WithCheckpoint(path string) Option { return func(e *Engine) { e.checkpointPath = path } }
+
+// WithCheckpointInterval sets how many tallied injections elapse
+// between periodic checkpoint writes (default 100,000). Values < 1 are
+// treated as 1.
+func WithCheckpointInterval(n int64) Option { return func(e *Engine) { e.checkpointEvery = n } }
+
+// WithResume makes Execute load the WithCheckpoint file (when it
+// exists) before starting, skipping the already-tallied prefix of every
+// stratum. Execute fails if the checkpoint belongs to a different plan
+// or seed; a missing file starts a fresh campaign.
+func WithResume() Option { return func(e *Engine) { e.resume = true } }
+
+// WithEarlyStop enables margin-based early stopping: a stratum halts as
+// soon as its achieved margin — the Eq. 3 inversion evaluated at the
+// observed proportion (stats.ObservedMargin) — reaches target, with the
+// actual sample size reported in the Result's Estimates alongside the
+// planned one in Plan.Subpops. target 0 uses the plan's requested
+// ErrorMargin. At least earlyStopMinSample draws are always evaluated
+// per stratum so the normal approximation behind Eq. 3 is defensible.
+//
+// The stop rule is a pure function of each stratum's tallied prefix at
+// fixed shard boundaries, so early-stopped results stay deterministic
+// for a given (plan, seed, worker count).
+func WithEarlyStop(target float64) Option {
+	return func(e *Engine) { e.earlyStop = true; e.earlyStopTarget = target }
+}
+
+// WithDecodeValidation switches the defensive fault-decode cross-check
+// on or off explicitly, overriding the SFI_VALIDATE_DECODE environment
+// gate (which remains the process-wide default fallback).
+func WithDecodeValidation(on bool) Option { return func(e *Engine) { e.validate = on } }
+
+// earlyStopMinSample is the minimum evaluated sample size before the
+// early-stop rule may fire: below ~30 draws the normal approximation
+// underlying the Eq. 3 margin is not meaningful (a stratum whose first
+// few draws happen to be benign would otherwise stop instantly at an
+// observed margin of zero).
+const earlyStopMinSample = 30
+
+// NewEngine builds an engine; defaults are GOMAXPROCS workers, no
+// progress sink, no checkpointing, no early stop, and decode validation
+// taken from the SFI_VALIDATE_DECODE environment variable.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		progressEvery:   10_000,
+		checkpointEvery: 100_000,
+		validate:        validateDecode,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.progressEvery < 1 {
+		e.progressEvery = 1
+	}
+	if e.checkpointEvery < 1 {
+		e.checkpointEvery = 1
+	}
+	return e
+}
+
+// stratumState is one stratum's running tally: the contiguous prefix of
+// its drawn sample that has been evaluated and merged (cursor draws,
+// successes criticals), plus the per-layer slices for global strata and
+// the early-stop flag.
+type stratumState struct {
+	cursor    int64
+	successes int64
+	perLayer  map[int]*stats.ProportionEstimate
+	stopped   bool
+}
+
+// execution is the per-Execute run state (the Engine itself stays
+// immutable and reusable).
+type execution struct {
+	engine *Engine
+	plan   *Plan
+	space  faultmodel.Space
+	seed   int64
+	start  time.Time
+
+	strata []*stratumState
+	shards []*shard
+	order  [][]int // per stratum: indices into shards, in draw order
+	pos    []int   // per stratum: next order entry awaiting merge
+	done   []bool  // per shard: evaluated
+
+	merged      int64 // tallied injections, campaign-wide (incl. restored)
+	restored    int64 // tallied injections loaded from the checkpoint
+	critical    int64 // tallied criticals, campaign-wide
+	lastStratum int   // stratum whose prefix advanced most recently
+
+	sinceProgress   int64
+	sinceCheckpoint int64
+}
+
+// Execute runs the plan against the evaluator. It returns a complete
+// Result and nil error on success; on context cancellation it returns
+// the partial Result tallied so far (Result.Partial set) together with
+// ctx.Err(), after writing a final checkpoint when one is configured.
+// All worker goroutines are joined before Execute returns, whatever the
+// outcome.
+//
+// The evaluator contract matches the classic runners: evaluators
+// implementing WorkerCloner get one clone per worker beyond the first;
+// any other evaluator is shared and must be safe for concurrent
+// IsCritical calls (irrelevant at one worker).
+func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int64) (*Result, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("core: engine: nil plan")
+	}
+	if e.earlyStop {
+		if err := plan.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("core: engine: early stop needs a valid plan config: %w", err)
+		}
+		if e.earlyStopTarget < 0 || e.earlyStopTarget >= 1 {
+			return nil, fmt.Errorf("core: engine: early-stop target %v outside [0, 1)", e.earlyStopTarget)
+		}
+	}
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	x := &execution{
+		engine:      e,
+		plan:        plan,
+		space:       ev.Space(),
+		seed:        seed,
+		start:       time.Now(),
+		strata:      make([]*stratumState, len(plan.Subpops)),
+		lastStratum: -1,
+	}
+	for i, sub := range plan.Subpops {
+		st := &stratumState{}
+		if sub.Layer < 0 {
+			st.perLayer = make(map[int]*stats.ProportionEstimate)
+		}
+		x.strata[i] = st
+	}
+	if e.checkpointPath != "" && e.resume {
+		if err := x.loadCheckpoint(e.checkpointPath); err != nil {
+			return nil, err
+		}
+	}
+
+	// The determinism anchor: every stratum's sample drawn up-front in
+	// plan order, then sharded exactly like a fresh run so resumed
+	// campaigns see the same boundaries (cursors always sit on shard
+	// boundaries of the worker count that wrote the checkpoint).
+	samples := drawAll(plan, seed)
+	for _, s := range makeShards(plan, samples, workers) {
+		st := x.strata[s.stratum]
+		end := s.start + int64(len(s.idx))
+		if st.stopped || end <= st.cursor {
+			continue // fully covered by the checkpoint
+		}
+		if s.start < st.cursor { // partially covered: trim the tallied head
+			s.idx = s.idx[st.cursor-s.start:]
+			s.start = st.cursor
+		}
+		x.shards = append(x.shards, s)
+	}
+	x.order = make([][]int, len(plan.Subpops))
+	for k, s := range x.shards {
+		x.order[s.stratum] = append(x.order[s.stratum], k)
+	}
+	x.pos = make([]int, len(plan.Subpops))
+	x.done = make([]bool, len(x.shards))
+
+	// Per-worker evaluators: worker 0 keeps the original; the rest get
+	// clones when the evaluator requires isolation.
+	evals := make([]Evaluator, workers)
+	for w := range evals {
+		evals[w] = ev
+		if w > 0 {
+			if c, ok := ev.(WorkerCloner); ok {
+				evals[w] = c.CloneForWorker()
+			}
+		}
+	}
+
+	type completion struct {
+		shard     int
+		evaluated bool
+	}
+	jobs := make(chan int)
+	results := make(chan completion, len(x.shards)) // workers never block
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ev Evaluator) {
+			defer wg.Done()
+			for k := range jobs {
+				// Cooperative cancellation, checked at shard boundaries:
+				// a cancelled worker reports the shard back unevaluated.
+				if ctx.Err() != nil {
+					results <- completion{k, false}
+					continue
+				}
+				x.shards[k].evaluate(ev, x.space, plan, e.validate)
+				results <- completion{k, true}
+			}
+		}(evals[w])
+	}
+
+	// Dispatch loop: one goroutine owns all bookkeeping (prefix merge,
+	// early stop, checkpoints, progress), so none of it needs locks.
+	var runErr error
+	aborted := false
+	ctxDone := ctx.Done()
+	next, inFlight := 0, 0
+	skipStopped := func() {
+		for next < len(x.shards) && x.strata[x.shards[next].stratum].stopped {
+			next++
+		}
+	}
+	skipStopped()
+	for inFlight > 0 || (!aborted && next < len(x.shards)) {
+		var jobCh chan int
+		if !aborted && next < len(x.shards) {
+			jobCh = jobs
+		}
+		select {
+		case jobCh <- next:
+			next++
+			inFlight++
+			skipStopped()
+		case c := <-results:
+			inFlight--
+			if c.evaluated {
+				x.handleCompletion(c.shard)
+				skipStopped()
+				if !aborted {
+					if err := x.housekeeping(); err != nil {
+						runErr = err
+						aborted = true
+					}
+				}
+			}
+		case <-ctxDone:
+			aborted = true
+			ctxDone = nil
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := x.assemble(aborted)
+	if aborted {
+		if e.checkpointPath != "" && runErr == nil {
+			runErr = x.writeCheckpoint(e.checkpointPath)
+		}
+		x.emitProgress(true)
+		if runErr == nil {
+			runErr = ctx.Err()
+		}
+		return res, runErr
+	}
+	if e.checkpointPath != "" {
+		os.Remove(e.checkpointPath) // campaign complete; drop stale state
+	}
+	x.emitProgress(true)
+	return res, nil
+}
+
+// handleCompletion records an evaluated shard and merges the stratum's
+// contiguous completed prefix, in draw order, checking the early-stop
+// rule at every merged boundary. Tallies of shards evaluated beyond an
+// early-stop cut are discarded — the reported actual-n is always a
+// deterministic prefix.
+func (x *execution) handleCompletion(k int) {
+	x.done[k] = true
+	i := x.shards[k].stratum
+	st := x.strata[i]
+	for !st.stopped && x.pos[i] < len(x.order[i]) && x.done[x.order[i][x.pos[i]]] {
+		x.mergeShard(x.shards[x.order[i][x.pos[i]]])
+		x.pos[i]++
+		x.checkEarlyStop(i)
+	}
+}
+
+// mergeShard folds one evaluated shard into its stratum's prefix tally.
+func (x *execution) mergeShard(s *shard) {
+	st := x.strata[s.stratum]
+	st.cursor += int64(len(s.idx))
+	st.successes += s.successes
+	for l, pl := range s.perLayer {
+		agg := st.perLayer[l]
+		if agg == nil {
+			agg = &stats.ProportionEstimate{
+				PopulationSize: pl.PopulationSize,
+				PlannedP:       pl.PlannedP,
+			}
+			st.perLayer[l] = agg
+		}
+		agg.SampleSize += pl.SampleSize
+		agg.Successes += pl.Successes
+	}
+	n := int64(len(s.idx))
+	x.merged += n
+	x.critical += s.successes
+	x.sinceProgress += n
+	x.sinceCheckpoint += n
+	x.lastStratum = s.stratum
+}
+
+// checkEarlyStop halts stratum i once the margin achieved by its tallied
+// prefix (Eq. 3 inverted at the observed proportion) reaches the target.
+func (x *execution) checkEarlyStop(i int) {
+	e := x.engine
+	if !e.earlyStop {
+		return
+	}
+	st := x.strata[i]
+	sub := x.plan.Subpops[i]
+	if st.stopped || st.cursor < earlyStopMinSample || st.cursor >= sub.SampleSize {
+		return
+	}
+	target := e.earlyStopTarget
+	if target == 0 {
+		target = x.plan.Config.ErrorMargin
+	}
+	pHat := float64(st.successes) / float64(st.cursor)
+	if x.plan.Config.ObservedMargin(pHat, st.cursor, sub.Population) <= target {
+		st.stopped = true
+	}
+}
+
+// housekeeping emits due progress events and writes due checkpoints.
+func (x *execution) housekeeping() error {
+	e := x.engine
+	if e.progress != nil && x.sinceProgress >= e.progressEvery {
+		x.sinceProgress = 0
+		x.emitProgress(false)
+	}
+	if e.checkpointPath != "" && x.sinceCheckpoint >= e.checkpointEvery {
+		x.sinceCheckpoint = 0
+		if err := x.writeCheckpoint(e.checkpointPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitProgress sends one event to the sink, if any.
+func (x *execution) emitProgress(final bool) {
+	if x.engine.progress == nil {
+		return
+	}
+	p := Progress{
+		Done:     x.merged,
+		Planned:  x.plan.TotalInjections(),
+		Critical: x.critical,
+		Stratum:  x.lastStratum,
+		Elapsed:  time.Since(x.start),
+		Final:    final,
+	}
+	if x.lastStratum >= 0 {
+		p.StratumDone = x.strata[x.lastStratum].cursor
+		p.StratumPlanned = x.plan.Subpops[x.lastStratum].SampleSize
+	}
+	if secs := p.Elapsed.Seconds(); secs > 0 {
+		p.Rate = float64(x.merged-x.restored) / secs
+	}
+	x.engine.progress(p)
+}
+
+// assemble builds the Result from the per-stratum prefix tallies. For a
+// completed campaign every cursor equals its planned sample size, so the
+// Result is field-for-field what the classic Run produces.
+func (x *execution) assemble(aborted bool) *Result {
+	res := &Result{Plan: x.plan, Partial: aborted}
+	for i, sub := range x.plan.Subpops {
+		st := x.strata[i]
+		res.Estimates = append(res.Estimates, stats.ProportionEstimate{
+			Successes:      st.successes,
+			SampleSize:     st.cursor,
+			PopulationSize: sub.Population,
+			PlannedP:       sub.P,
+		})
+		if st.stopped {
+			res.EarlyStopped = append(res.EarlyStopped, i)
+		}
+		if sub.Layer < 0 {
+			if res.LayerSlices == nil {
+				res.LayerSlices = make(map[int]stats.ProportionEstimate)
+			}
+			for l, pl := range st.perLayer {
+				agg, ok := res.LayerSlices[l]
+				if !ok {
+					agg = stats.ProportionEstimate{
+						PopulationSize: pl.PopulationSize,
+						PlannedP:       pl.PlannedP,
+					}
+				}
+				agg.SampleSize += pl.SampleSize
+				agg.Successes += pl.Successes
+				res.LayerSlices[l] = agg
+			}
+		}
+	}
+	return res
+}
+
+// shardOversubscription sets how many shards each worker receives on
+// average. A few shards per worker smooth out unequal shard costs
+// (SDC early exit makes critical faults much cheaper than benign ones)
+// without measurable scheduling overhead; shard boundaries are also the
+// granularity of cancellation, checkpointing, and early stop.
+const shardOversubscription = 4
+
+// shard is one contiguous slice of one stratum's drawn sample, plus the
+// tallies its evaluation produced.
+type shard struct {
+	stratum   int
+	start     int64 // offset of idx[0] within the stratum's drawn sample
+	idx       []int64
+	successes int64
+	// perLayer collects the per-layer slices of a network-wise stratum's
+	// global sample (nil for layer- or bit-granular strata).
+	perLayer map[int]*stats.ProportionEstimate
+}
+
+// makeShards splits every stratum's sample into contiguous chunks of
+// roughly total/(workers·shardOversubscription) draws. Small strata stay
+// whole; a single large stratum fans out across all workers.
+func makeShards(plan *Plan, samples [][]int64, workers int) []*shard {
+	chunk := int(plan.TotalInjections() / int64(workers*shardOversubscription))
+	if chunk < 1 {
+		chunk = 1
+	}
+	var shards []*shard
+	for i := range plan.Subpops {
+		idx := samples[i]
+		for start := 0; start < len(idx); start += chunk {
+			end := start + chunk
+			if end > len(idx) {
+				end = len(idx)
+			}
+			shards = append(shards, &shard{stratum: i, start: int64(start), idx: idx[start:end]})
+		}
+	}
+	return shards
+}
+
+// evaluate runs the shard's experiments against one evaluator. Each
+// shard is touched by exactly one worker, so no locking is needed.
+func (s *shard) evaluate(ev Evaluator, space faultmodel.Space, plan *Plan, validate bool) {
+	sub := plan.Subpops[s.stratum]
+	if sub.Layer < 0 {
+		s.perLayer = make(map[int]*stats.ProportionEstimate)
+	}
+	for _, j := range s.idx {
+		f := decodeShardFault(space, sub, j, validate)
+		critical := ev.IsCritical(f)
+		if critical {
+			s.successes++
+		}
+		if s.perLayer != nil {
+			pl := s.perLayer[f.Layer]
+			if pl == nil {
+				pl = &stats.ProportionEstimate{
+					PopulationSize: space.LayerTotal(f.Layer),
+					PlannedP:       sub.P,
+				}
+				s.perLayer[f.Layer] = pl
+			}
+			pl.SampleSize++
+			if critical {
+				pl.Successes++
+			}
+		}
+	}
+}
+
+// decodeShardFault maps a stratum-local index to a concrete fault,
+// validating the decode when requested (WithDecodeValidation, or the
+// SFI_VALIDATE_DECODE environment fallback).
+func decodeShardFault(space faultmodel.Space, sub Subpopulation, j int64, validate bool) faultmodel.Fault {
+	if validate {
+		f, err := decodeFaultChecked(space, sub, j)
+		if err != nil {
+			panic(err)
+		}
+		return f
+	}
+	return decodeFault(space, sub, j)
+}
+
+// drawAll reproduces the classic serial sampling exactly: one master
+// generator seeded with seed, consumed stratum by stratum in plan order.
+func drawAll(plan *Plan, seed int64) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int64, len(plan.Subpops))
+	for i, sub := range plan.Subpops {
+		out[i] = stats.SampleWithoutReplacement(rng, sub.Population, sub.SampleSize)
+	}
+	return out
+}
+
+// decodeFaultChecked is decodeFault with validation; the shard runner
+// uses it when decode validation is enabled.
+func decodeFaultChecked(space faultmodel.Space, sub Subpopulation, j int64) (faultmodel.Fault, error) {
+	f := decodeFault(space, sub, j)
+	if err := space.Validate(f); err != nil {
+		return faultmodel.Fault{}, fmt.Errorf("core: decoded invalid fault: %w", err)
+	}
+	return f, nil
+}

@@ -1,23 +1,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"os"
-	"runtime"
-	"sync"
-
-	"cnnsfi/internal/faultmodel"
-	"cnnsfi/internal/stats"
 )
 
 // WorkerCloner is implemented by evaluators whose IsCritical is not safe
 // for concurrent use but which can produce independent per-worker
-// copies. RunParallel gives every worker beyond the first its own clone,
-// which is how the inference-based inject.Injector — whose experiments
-// mutate live network weights — runs one campaign on all cores.
-// Evaluators that do not implement WorkerCloner are shared across
-// workers and must have a concurrency-safe IsCritical (see Evaluator).
+// copies. The campaign Engine gives every worker beyond the first its
+// own clone, which is how the inference-based inject.Injector — whose
+// experiments mutate live network weights — runs one campaign on all
+// cores. Evaluators that do not implement WorkerCloner are shared
+// across workers and must have a concurrency-safe IsCritical (see
+// Evaluator).
 type WorkerCloner interface {
 	Evaluator
 	// CloneForWorker returns an evaluator over the same fault space
@@ -26,29 +22,22 @@ type WorkerCloner interface {
 	CloneForWorker() Evaluator
 }
 
-// validateDecode enables defensive validation of every fault decoded in
-// the shard-evaluation path (decodeFaultChecked instead of decodeFault).
-// It is off by default — the decode arithmetic is pinned by tests — and
-// can be switched on for production campaigns by setting the
-// SFI_VALIDATE_DECODE environment variable to any non-empty value.
+// validateDecode is the process-wide default for the defensive
+// validation of every fault decoded in the shard-evaluation path
+// (decodeFaultChecked instead of decodeFault). It is off by default —
+// the decode arithmetic is pinned by tests — and can be switched on for
+// production campaigns by setting the SFI_VALIDATE_DECODE environment
+// variable to any non-empty value, or per engine with
+// WithDecodeValidation (which wins over the environment).
 var validateDecode = os.Getenv("SFI_VALIDATE_DECODE") != ""
-
-// shardOversubscription sets how many shards each worker receives on
-// average. A few shards per worker smooth out unequal shard costs
-// (SDC early exit makes critical faults much cheaper than benign ones)
-// without measurable scheduling overhead.
-const shardOversubscription = 4
 
 // RunParallel executes a plan like Run, spreading the evaluation over up
 // to workers goroutines (0 selects GOMAXPROCS).
 //
 // Determinism guarantee: for the same seed, the Result is bit-identical
-// to Run's, regardless of worker count. Every stratum's sample is drawn
-// up-front from the master generator in plan order (exactly as Run
-// consumes it), the drawn sample is split into contiguous shards whose
-// tallies are plain integer sums, and the per-shard tallies are merged
-// in shard order after all workers finish — so neither the draw nor the
-// tally depends on evaluation interleaving.
+// to Run's, regardless of worker count — neither the draw (performed
+// up-front in plan order) nor the tally (integer sums merged in draw
+// order) depends on evaluation interleaving.
 //
 // Work is sharded *within* strata, not just across them: a
 // single-stratum network-wise plan saturates all workers just like a
@@ -58,172 +47,16 @@ const shardOversubscription = 4
 // inference-based inject.Injector) is cloned once per extra worker;
 // any other evaluator (the oracle substrate, the activation injector)
 // is shared and must be safe for concurrent IsCritical calls.
+//
+// RunParallel is a thin compatibility wrapper over the campaign Engine;
+// use NewEngine directly for cancellation, streaming progress,
+// checkpoint/resume, or early stop.
 func RunParallel(ev Evaluator, plan *Plan, seed int64, workers int) *Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	space := ev.Space()
-	samples := drawAll(plan, seed)
-	shards := makeShards(plan, samples, workers)
-
-	// Per-worker evaluators: worker 0 keeps the original; the rest get
-	// clones when the evaluator requires isolation.
-	evals := make([]Evaluator, workers)
-	for w := range evals {
-		evals[w] = ev
-		if w > 0 {
-			if c, ok := ev.(WorkerCloner); ok {
-				evals[w] = c.CloneForWorker()
-			}
-		}
-	}
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(ev Evaluator) {
-			defer wg.Done()
-			for k := range jobs {
-				shards[k].evaluate(ev, space, plan)
-			}
-		}(evals[w])
-	}
-	for k := range shards {
-		jobs <- k
-	}
-	close(jobs)
-	wg.Wait()
-
-	return mergeShards(plan, shards)
-}
-
-// shard is one contiguous slice of one stratum's drawn sample, plus the
-// tallies its evaluation produced.
-type shard struct {
-	stratum   int
-	idx       []int64
-	successes int64
-	// perLayer collects the per-layer slices of a network-wise stratum's
-	// global sample (nil for layer- or bit-granular strata).
-	perLayer map[int]*stats.ProportionEstimate
-}
-
-// makeShards splits every stratum's sample into contiguous chunks of
-// roughly total/(workers·shardOversubscription) draws. Small strata stay
-// whole; a single large stratum fans out across all workers.
-func makeShards(plan *Plan, samples [][]int64, workers int) []*shard {
-	chunk := int(plan.TotalInjections() / int64(workers*shardOversubscription))
-	if chunk < 1 {
-		chunk = 1
-	}
-	var shards []*shard
-	for i := range plan.Subpops {
-		idx := samples[i]
-		for start := 0; start < len(idx); start += chunk {
-			end := start + chunk
-			if end > len(idx) {
-				end = len(idx)
-			}
-			shards = append(shards, &shard{stratum: i, idx: idx[start:end]})
-		}
-	}
-	return shards
-}
-
-// evaluate runs the shard's experiments against one evaluator. Each
-// shard is touched by exactly one worker, so no locking is needed.
-func (s *shard) evaluate(ev Evaluator, space faultmodel.Space, plan *Plan) {
-	sub := plan.Subpops[s.stratum]
-	if sub.Layer < 0 {
-		s.perLayer = make(map[int]*stats.ProportionEstimate)
-	}
-	for _, j := range s.idx {
-		f := decodeShardFault(space, sub, j)
-		critical := ev.IsCritical(f)
-		if critical {
-			s.successes++
-		}
-		if s.perLayer != nil {
-			pl := s.perLayer[f.Layer]
-			if pl == nil {
-				pl = &stats.ProportionEstimate{
-					PopulationSize: space.LayerTotal(f.Layer),
-					PlannedP:       sub.P,
-				}
-				s.perLayer[f.Layer] = pl
-			}
-			pl.SampleSize++
-			if critical {
-				pl.Successes++
-			}
-		}
-	}
-}
-
-// decodeShardFault maps a stratum-local index to a concrete fault,
-// validating the decode when SFI_VALIDATE_DECODE is set.
-func decodeShardFault(space faultmodel.Space, sub Subpopulation, j int64) faultmodel.Fault {
-	if validateDecode {
-		f, err := decodeFaultChecked(space, sub, j)
-		if err != nil {
-			panic(err)
-		}
-		return f
-	}
-	return decodeFault(space, sub, j)
-}
-
-// mergeShards folds the per-shard tallies into a Result in shard order.
-// Every tally is an integer sum over disjoint slices of the serial
-// iteration order, so the merged result is bit-identical to Run's.
-func mergeShards(plan *Plan, shards []*shard) *Result {
-	res := &Result{Plan: plan, Estimates: make([]stats.ProportionEstimate, len(plan.Subpops))}
-	for i, sub := range plan.Subpops {
-		res.Estimates[i] = stats.ProportionEstimate{
-			SampleSize:     sub.SampleSize,
-			PopulationSize: sub.Population,
-			PlannedP:       sub.P,
-		}
-		if sub.Layer < 0 && res.LayerSlices == nil {
-			res.LayerSlices = make(map[int]stats.ProportionEstimate)
-		}
-	}
-	for _, s := range shards {
-		res.Estimates[s.stratum].Successes += s.successes
-		for l, pl := range s.perLayer {
-			agg, ok := res.LayerSlices[l]
-			if !ok {
-				agg = stats.ProportionEstimate{
-					PopulationSize: pl.PopulationSize,
-					PlannedP:       pl.PlannedP,
-				}
-			}
-			agg.SampleSize += pl.SampleSize
-			agg.Successes += pl.Successes
-			res.LayerSlices[l] = agg
-		}
+	res, err := NewEngine(WithWorkers(workers)).Execute(context.Background(), ev, plan, seed)
+	if err != nil {
+		// Unreachable: with no cancellable context, checkpoint, or early
+		// stop configured, Execute has no error paths.
+		panic(fmt.Sprintf("core: RunParallel: %v", err))
 	}
 	return res
-}
-
-// drawAll reproduces Run's sampling exactly: one master generator seeded
-// with seed, consumed stratum by stratum in plan order.
-func drawAll(plan *Plan, seed int64) [][]int64 {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([][]int64, len(plan.Subpops))
-	for i, sub := range plan.Subpops {
-		out[i] = stats.SampleWithoutReplacement(rng, sub.Population, sub.SampleSize)
-	}
-	return out
-}
-
-// decodeFaultChecked is decodeFault with validation; the shard runner
-// uses it when SFI_VALIDATE_DECODE is set.
-func decodeFaultChecked(space faultmodel.Space, sub Subpopulation, j int64) (faultmodel.Fault, error) {
-	f := decodeFault(space, sub, j)
-	if err := space.Validate(f); err != nil {
-		return faultmodel.Fault{}, fmt.Errorf("core: decoded invalid fault: %w", err)
-	}
-	return f, nil
 }

@@ -1,0 +1,42 @@
+package core
+
+import "time"
+
+// Progress is one streaming status event of a running campaign. Events
+// are emitted by the Engine from its dispatcher goroutine — never
+// concurrently — every WithProgressInterval tallied injections and once
+// more when the campaign ends (Final). All counts refer to *tallied*
+// work: the contiguous per-stratum prefixes that have been merged into
+// the running result, i.e. exactly what a checkpoint written at that
+// instant would contain.
+type Progress struct {
+	// Done is the number of injections tallied so far, campaign-wide.
+	Done int64
+	// Planned is the campaign total (Plan.TotalInjections). Done stays
+	// below Planned when strata are early-stopped or the run is
+	// cancelled.
+	Planned int64
+	// Critical is the running critical-fault tally across all strata.
+	Critical int64
+	// Stratum indexes the stratum (Plan.Subpops) whose prefix advanced
+	// most recently; -1 before any work is tallied.
+	Stratum int
+	// StratumDone / StratumPlanned are that stratum's tallied and
+	// planned draw counts.
+	StratumDone, StratumPlanned int64
+	// Rate is injections per second, measured over work evaluated by
+	// this Execute call (checkpoint-restored tallies are excluded).
+	Rate float64
+	// Elapsed is the wall-clock time since Execute started.
+	Elapsed time.Duration
+	// Final marks the last event of the run (emitted on completion,
+	// early-stop exhaustion, and cancellation alike).
+	Final bool
+}
+
+// ProgressSink consumes streaming Progress events. The Engine calls the
+// sink synchronously from its dispatcher goroutine, so implementations
+// need no locking but must return promptly — a slow sink stalls shard
+// hand-off. A sink may cancel the campaign's context; the engine then
+// winds down at the next shard boundary.
+type ProgressSink func(Progress)

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"cnnsfi/internal/faultmodel"
 	"cnnsfi/internal/stats"
@@ -41,57 +41,32 @@ type Result struct {
 	// tiny for small layers — which is exactly why the per-layer
 	// margins blow up (Fig. 6, leftmost group).
 	LayerSlices map[int]stats.ProportionEstimate
+	// Partial is set when the campaign was cancelled before every
+	// stratum completed: Estimates carry the tallies of each stratum's
+	// evaluated prefix (SampleSize = actual draws evaluated, which may
+	// be below the planned Plan.Subpops[i].SampleSize).
+	Partial bool `json:",omitempty"`
+	// EarlyStopped lists the strata (indices into Plan.Subpops, in plan
+	// order) halted by the engine's margin-based early stop; their
+	// actual sample sizes are in Estimates, the planned ones in the
+	// Plan.
+	EarlyStopped []int `json:",omitempty"`
 }
 
 // Run draws each stratum's sample without replacement and evaluates it
 // serially. The draw is deterministic in seed, so replicated samples
 // S0-S9 of Fig. 6 are Run calls with seeds 0..9, and RunParallel with
 // the same seed returns a bit-identical Result at any worker count.
+//
+// Run is a thin compatibility wrapper over the campaign Engine at one
+// worker; use NewEngine directly for cancellation, streaming progress,
+// checkpoint/resume, or early stop.
 func Run(ev Evaluator, plan *Plan, seed int64) *Result {
-	space := ev.Space()
-	rng := rand.New(rand.NewSource(seed))
-	res := &Result{Plan: plan}
-
-	for _, sub := range plan.Subpops {
-		idx := stats.SampleWithoutReplacement(rng, sub.Population, sub.SampleSize)
-		var successes int64
-		var perLayer map[int]*stats.ProportionEstimate
-		if sub.Layer < 0 {
-			perLayer = make(map[int]*stats.ProportionEstimate)
-		}
-		for _, j := range idx {
-			f := decodeFault(space, sub, j)
-			critical := ev.IsCritical(f)
-			if critical {
-				successes++
-			}
-			if perLayer != nil {
-				pl := perLayer[f.Layer]
-				if pl == nil {
-					pl = &stats.ProportionEstimate{
-						PopulationSize: space.LayerTotal(f.Layer),
-						PlannedP:       sub.P,
-					}
-					perLayer[f.Layer] = pl
-				}
-				pl.SampleSize++
-				if critical {
-					pl.Successes++
-				}
-			}
-		}
-		res.Estimates = append(res.Estimates, stats.ProportionEstimate{
-			Successes:      successes,
-			SampleSize:     sub.SampleSize,
-			PopulationSize: sub.Population,
-			PlannedP:       sub.P,
-		})
-		if perLayer != nil {
-			res.LayerSlices = make(map[int]stats.ProportionEstimate, len(perLayer))
-			for l, pl := range perLayer {
-				res.LayerSlices[l] = *pl
-			}
-		}
+	res, err := NewEngine(WithWorkers(1)).Execute(context.Background(), ev, plan, seed)
+	if err != nil {
+		// Unreachable: with no cancellable context, checkpoint, or early
+		// stop configured, Execute has no error paths.
+		panic(fmt.Sprintf("core: Run: %v", err))
 	}
 	return res
 }

@@ -22,6 +22,21 @@
 // yields a bit-identical Result at any worker count — so parallelism
 // never changes the statistics.
 //
+// Both are thin wrappers over the campaign Engine, which adds the
+// operational controls long campaigns need: context cancellation and
+// deadlines, streaming progress events, checkpoint/resume (an
+// interrupted campaign resumes bit-identically at the same seed), and
+// margin-based early stop:
+//
+//	eng := sfi.NewEngine(
+//		sfi.WithWorkers(0),                   // all cores
+//		sfi.WithProgress(printProgress),      // streaming events
+//		sfi.WithCheckpoint("run.ckpt"),       // periodic + on-cancel
+//		sfi.WithResume(),                     // continue if run.ckpt exists
+//		sfi.WithEarlyStop(0),                 // stop strata at achieved e
+//	)
+//	result, err := eng.Execute(ctx, oracle, plan, 0)
+//
 // Everything here is a thin re-export of the internal packages; see
 // DESIGN.md for the package inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -111,6 +126,16 @@ type (
 	Protection = reliability.Protection
 	// Format is a floating-point representation (FP32/FP16/BF16).
 	Format = fp.Format
+	// Engine is the unified campaign executor behind Run/RunParallel,
+	// with cancellation, progress streaming, checkpoint/resume, and
+	// margin-based early stop (see NewEngine and the With* options).
+	Engine = core.Engine
+	// EngineOption configures an Engine (functional options).
+	EngineOption = core.Option
+	// Progress is one streaming status event of a running campaign.
+	Progress = core.Progress
+	// ProgressSink consumes streaming Progress events.
+	ProgressSink = core.ProgressSink
 )
 
 // The four SFI approaches, in the paper's order.
@@ -263,6 +288,47 @@ func ReadResultJSON(r io.Reader) (*Result, error) { return core.ReadResultJSON(r
 func RunParallel(ev Evaluator, plan *Plan, seed int64, workers int) *Result {
 	return core.RunParallel(ev, plan, seed, workers)
 }
+
+// NewEngine builds the unified campaign engine. Defaults match
+// RunParallel (all cores, no checkpointing, no early stop); see the
+// With* options for the operational controls.
+func NewEngine(opts ...EngineOption) *Engine { return core.NewEngine(opts...) }
+
+// WithWorkers sets the evaluation worker count (0 = GOMAXPROCS,
+// 1 = serial in draw order).
+func WithWorkers(n int) EngineOption { return core.WithWorkers(n) }
+
+// WithProgress installs a streaming progress sink, called synchronously
+// from the engine's dispatcher with per-stratum draws completed, running
+// critical tallies, and injections/sec.
+func WithProgress(sink ProgressSink) EngineOption { return core.WithProgress(sink) }
+
+// WithProgressInterval sets the tallied injections between progress
+// events (default 10,000).
+func WithProgressInterval(n int64) EngineOption { return core.WithProgressInterval(n) }
+
+// WithCheckpoint enables periodic campaign checkpoints at path; an
+// interrupted campaign resumed from the checkpoint (WithResume) yields a
+// Result bit-identical to an uninterrupted run at the same seed.
+func WithCheckpoint(path string) EngineOption { return core.WithCheckpoint(path) }
+
+// WithCheckpointInterval sets the tallied injections between periodic
+// checkpoint writes (default 100,000).
+func WithCheckpointInterval(n int64) EngineOption { return core.WithCheckpointInterval(n) }
+
+// WithResume makes Execute load the WithCheckpoint file before starting
+// (a missing file starts fresh; a mismatched plan or seed is an error).
+func WithResume() EngineOption { return core.WithResume() }
+
+// WithEarlyStop halts each stratum once its achieved margin (Eq. 3
+// inverted at the observed proportion) reaches target (0 = the plan's
+// requested ErrorMargin), reporting actual-n in the Result alongside the
+// planned-n in the Plan.
+func WithEarlyStop(target float64) EngineOption { return core.WithEarlyStop(target) }
+
+// WithDecodeValidation toggles the defensive fault-decode cross-check
+// explicitly, overriding the SFI_VALIDATE_DECODE environment gate.
+func WithDecodeValidation(on bool) EngineOption { return core.WithDecodeValidation(on) }
 
 // SaveWeights serializes a network's injectable weights (checksummed
 // binary container).
