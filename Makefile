@@ -6,13 +6,16 @@
 #                detector (slow: real inference under -race)
 #   make vet     static analysis
 #   make bench   the serial-vs-parallel runner benchmarks
+#   make fuzz-smoke  run every fuzz target for a short budget (the CI
+#                fuzz stage; seed corpora live in testdata/fuzz/)
 #   make verify  what CI would run: build + vet + test
 #
 # Override GO to pin a toolchain: `make test GO=go1.22`.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet bench fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,5 +31,15 @@ vet:
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkParallel_ -benchtime 3x .
+
+# `go test -fuzz` accepts one target per invocation, so loop over every
+# Fuzz function in the packages that define them.
+fuzz-smoke:
+	@for pkg in ./internal/fp ./internal/stats; do \
+		for target in $$($(GO) test $$pkg -list '^Fuzz' | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$target"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+		done; \
+	done
 
 verify: build vet test

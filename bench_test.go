@@ -330,6 +330,49 @@ func BenchmarkSmallCNN_ExhaustiveLayer0(b *testing.B) {
 	}
 }
 
+// BenchmarkIsCritical_Masked prices one masked-fault experiment on the
+// real-inference injector: a stuck-at whose target bit already holds
+// the stuck value, which the short-circuit classifies without running
+// any inference. Pair with BenchmarkIsCritical_Unmasked for the
+// speedup, and with allocs/op = 0 as the allocation-free evidence.
+func BenchmarkIsCritical_Masked(b *testing.B) {
+	net, inj := smallFixture(b)
+	w := net.WeightLayers()[0].WeightData()[0]
+	// Bit 0 of the first weight is either 0 or 1; pick the stuck-at
+	// variant that matches so the fault is masked by construction.
+	f := faultmodel.Fault{Layer: 0, Param: 0, Bit: 0, Model: faultmodel.StuckAt0}
+	if fp.Bit32(w, 0) {
+		f.Model = faultmodel.StuckAt1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if inj.IsCritical(f) {
+			b.Fatal("masked fault classified critical")
+		}
+	}
+}
+
+// BenchmarkIsCritical_Unmasked prices one full fault-injection
+// experiment through the arena-backed hot path: the complementary
+// (unmasked, benign) stuck-at on the same mantissa LSB, re-running the
+// whole-network suffix over every evaluation image. allocs/op is the
+// steady-state allocation count of a real experiment.
+func BenchmarkIsCritical_Unmasked(b *testing.B) {
+	net, inj := smallFixture(b)
+	w := net.WeightLayers()[0].WeightData()[0]
+	f := faultmodel.Fault{Layer: 0, Param: 0, Bit: 0, Model: faultmodel.StuckAt1}
+	if fp.Bit32(w, 0) {
+		f.Model = faultmodel.StuckAt0
+	}
+	inj.IsCritical(f) // warm the arena so b.N=1 runs are steady-state too
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.IsCritical(f)
+	}
+}
+
 // BenchmarkSmallCNN_StatisticalVsExhaustive runs the four statistical
 // campaigns on the trained SmallCNN with real inference, restricted to
 // layer 0, and reports each estimate (the inference-substrate

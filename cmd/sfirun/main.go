@@ -18,15 +18,19 @@
 // Ctrl-C persists its per-stratum tallies and a later invocation with
 // -resume continues where it left off, ending in the exact Result an
 // uninterrupted run would have produced. -progress streams per-stratum
-// completion, running critical tallies, and injections/sec to stderr;
+// completion, running critical tallies, injections/sec, and the
+// evaluator's experiment breakdown (masked-fault skips vs full
+// evaluations, SDC early exits, scratch-arena bytes) to stderr;
 // -early-stop halts each stratum once its achieved margin (Eq. 3
 // inverted at the observed proportion) reaches the target.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -37,60 +41,73 @@ import (
 	"cnnsfi/sfi"
 )
 
-// fatalf prints one actionable line and exits — the CLI never panics on
-// bad input.
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sfirun: "+format+"\n", args...)
-	os.Exit(1)
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-func main() {
-	model := flag.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
-	seed := flag.Int64("seed", 1, "weight-generation seed")
-	oracleSeed := flag.Int64("oracle-seed", 3, "ground-truth labelling seed")
-	runSeed := flag.Int64("run-seed", 0, "sampling seed")
-	substrate := flag.String("substrate", "oracle", "evaluator: oracle or inference")
-	images := flag.Int("images", 8, "evaluation-set size for the inference substrate")
-	margin := flag.Float64("margin", 0.01, "requested error margin e, in (0,1)")
-	confidence := flag.Float64("confidence", 0.99, "confidence level, in (0,1)")
-	table3 := flag.Bool("table3", false, "print Table III")
-	fig5 := flag.Bool("fig5", false, "print Fig. 5 series")
-	fig6 := flag.Bool("fig6", false, "print Fig. 6 series")
-	fig7 := flag.Bool("fig7", false, "print Fig. 7 series")
-	layer := flag.Int("layer", 0, "layer for -fig6")
-	replicas := flag.Int("replicas", 10, "replicated samples for -fig6")
-	workers := flag.Int("workers", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = serial; both substrates — the inference injector clones per-worker weights)")
-	progress := flag.Bool("progress", false, "stream campaign progress to stderr")
-	checkpoint := flag.String("checkpoint", "", "checkpoint path prefix; campaigns persist per-stratum tallies there (one file per approach)")
-	resume := flag.Bool("resume", false, "resume campaigns from existing -checkpoint files")
-	timeout := flag.Duration("timeout", 0, "abort campaigns after this duration (0 = none); with -checkpoint, progress is preserved")
-	earlyStop := flag.Float64("early-stop", -1, "stop each stratum at this achieved margin (0 = the requested -margin; negative = disabled)")
-	flag.Parse()
+// run is the whole CLI behind main, parameterised for testing: it
+// parses args, executes the requested campaigns, writes artifacts to
+// stdout and diagnostics to stderr, and returns the process exit code.
+// Bad input yields one actionable line on stderr and exit code 1 — the
+// CLI never panics.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfirun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
+	seed := fs.Int64("seed", 1, "weight-generation seed")
+	oracleSeed := fs.Int64("oracle-seed", 3, "ground-truth labelling seed")
+	runSeed := fs.Int64("run-seed", 0, "sampling seed")
+	substrate := fs.String("substrate", "oracle", "evaluator: oracle or inference")
+	images := fs.Int("images", 8, "evaluation-set size for the inference substrate")
+	margin := fs.Float64("margin", 0.01, "requested error margin e, in (0,1)")
+	confidence := fs.Float64("confidence", 0.99, "confidence level, in (0,1)")
+	table3 := fs.Bool("table3", false, "print Table III")
+	fig5 := fs.Bool("fig5", false, "print Fig. 5 series")
+	fig6 := fs.Bool("fig6", false, "print Fig. 6 series")
+	fig7 := fs.Bool("fig7", false, "print Fig. 7 series")
+	layer := fs.Int("layer", 0, "layer for -fig6")
+	replicas := fs.Int("replicas", 10, "replicated samples for -fig6")
+	workers := fs.Int("workers", 0, "concurrent evaluation workers (0 = GOMAXPROCS, 1 = serial; both substrates — the inference injector clones per-worker weights)")
+	progress := fs.Bool("progress", false, "stream campaign progress to stderr")
+	checkpoint := fs.String("checkpoint", "", "checkpoint path prefix; campaigns persist per-stratum tallies there (one file per approach)")
+	resume := fs.Bool("resume", false, "resume campaigns from existing -checkpoint files")
+	timeout := fs.Duration("timeout", 0, "abort campaigns after this duration (0 = none); with -checkpoint, progress is preserved")
+	earlyStop := fs.Float64("early-stop", -1, "stop each stratum at this achieved margin (0 = the requested -margin; negative = disabled)")
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error + usage
+	}
 
 	// Validate inputs up-front with actionable one-line errors.
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "sfirun: "+format+"\n", args...)
+		return 1
+	}
 	if *workers < 0 {
-		fatalf("-workers must be >= 0 (got %d); 0 selects all cores", *workers)
+		return fail("-workers must be >= 0 (got %d); 0 selects all cores", *workers)
 	}
 	if *margin <= 0 || *margin >= 1 {
-		fatalf("-margin must be inside (0,1) (got %v); the paper uses 0.01", *margin)
+		return fail("-margin must be inside (0,1) (got %v); the paper uses 0.01", *margin)
 	}
 	if *confidence <= 0 || *confidence >= 1 {
-		fatalf("-confidence must be inside (0,1) (got %v); the paper uses 0.99", *confidence)
+		return fail("-confidence must be inside (0,1) (got %v); the paper uses 0.99", *confidence)
 	}
 	if *earlyStop >= 1 {
-		fatalf("-early-stop must be below 1 (got %v); it is an error margin, not a percentage", *earlyStop)
+		return fail("-early-stop must be below 1 (got %v); it is an error margin, not a percentage", *earlyStop)
 	}
 	if *resume && *checkpoint == "" {
-		fatalf("-resume needs -checkpoint to know where the saved campaign lives")
+		return fail("-resume needs -checkpoint to know where the saved campaign lives")
 	}
 	if *timeout < 0 {
-		fatalf("-timeout must be >= 0 (got %v)", *timeout)
+		return fail("-timeout must be >= 0 (got %v)", *timeout)
 	}
 	if *images <= 0 {
-		fatalf("-images must be > 0 (got %d)", *images)
+		return fail("-images must be > 0 (got %d)", *images)
 	}
 	if *replicas <= 0 {
-		fatalf("-replicas must be > 0 (got %d)", *replicas)
+		return fail("-replicas must be > 0 (got %d)", *replicas)
 	}
 
 	if !*table3 && !*fig5 && !*fig6 && !*fig7 {
@@ -99,13 +116,11 @@ func main() {
 
 	net, err := sfi.BuildModel(*model, *seed)
 	if err != nil {
-		fatalf("unknown model %q; available: %v", *model, sfi.ModelNames())
+		return fail("unknown model %q; available: %v", *model, sfi.ModelNames())
 	}
 
 	// Campaigns stop cleanly on Ctrl-C or -timeout; with -checkpoint the
 	// tallies survive for a -resume invocation.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -117,7 +132,7 @@ func main() {
 	switch *substrate {
 	case "oracle":
 		o := sfi.NewOracle(net, sfi.OracleDefaults(*oracleSeed))
-		fmt.Fprintf(os.Stderr, "enumerating exhaustive ground truth over %s faults...\n",
+		fmt.Fprintf(stderr, "enumerating exhaustive ground truth over %s faults...\n",
 			report.Comma(o.Space().Total()))
 		exhaustive = make([]float64, o.Space().NumLayers())
 		for l := range exhaustive {
@@ -126,16 +141,16 @@ func main() {
 		ev = o
 	case "inference":
 		if *model != "smallcnn" {
-			fatalf("inference substrate: exhaustive validation is only feasible for -model smallcnn")
+			return fail("inference substrate: exhaustive validation is only feasible for -model smallcnn")
 		}
 		ds := sfi.SyntheticDataset(sfi.DatasetConfig{N: *images, Seed: 1, Size: 16})
 		inj := sfi.NewInjector(net, ds)
-		fmt.Fprintf(os.Stderr, "running exhaustive inference FI over %s faults × %d images...\n",
+		fmt.Fprintf(stderr, "running exhaustive inference FI over %s faults × %d images...\n",
 			report.Comma(inj.Space().Total()), *images)
-		exhaustive = exhaustiveByInference(inj)
+		exhaustive = exhaustiveByInference(stderr, inj)
 		ev = inj
 	default:
-		fatalf("unknown substrate %q; available: oracle, inference", *substrate)
+		return fail("unknown substrate %q; available: oracle, inference", *substrate)
 	}
 
 	space := ev.Space()
@@ -145,8 +160,10 @@ func main() {
 	analysis := sfi.AnalyzeWeights(net.AllWeights())
 
 	// Same seed ⇒ bit-identical Result at any worker count, with or
-	// without an interrupt/resume cycle in between.
-	run := func(name string, plan *sfi.Plan, seed int64) *sfi.Result {
+	// without an interrupt/resume cycle in between. errInterrupted means
+	// the message is already on stderr and the process must exit 1.
+	errInterrupted := errors.New("interrupted")
+	runCampaign := func(name string, plan *sfi.Plan, seed int64) (*sfi.Result, error) {
 		opts := []sfi.EngineOption{sfi.WithWorkers(*workers)}
 		if *checkpoint != "" {
 			opts = append(opts, sfi.WithCheckpoint(fmt.Sprintf("%s.%s.ckpt", *checkpoint, name)))
@@ -155,7 +172,7 @@ func main() {
 			}
 		}
 		if *progress {
-			opts = append(opts, sfi.WithProgress(progressPrinter(name)))
+			opts = append(opts, sfi.WithProgress(progressPrinter(stderr, name)))
 		}
 		if *earlyStop >= 0 {
 			opts = append(opts, sfi.WithEarlyStop(*earlyStop))
@@ -163,20 +180,26 @@ func main() {
 		res, err := sfi.NewEngine(opts...).Execute(ctx, ev, plan, seed)
 		if err != nil {
 			if res != nil && res.Partial {
-				fmt.Fprintf(os.Stderr, "sfirun: campaign %q interrupted after %s of %s injections (%v)\n",
+				fmt.Fprintf(stderr, "sfirun: campaign %q interrupted after %s of %s injections (%v)\n",
 					name, report.Comma(res.Injections()), report.Comma(plan.TotalInjections()), err)
 				if *checkpoint != "" {
-					fmt.Fprintf(os.Stderr, "sfirun: tallies saved; rerun with -checkpoint %s -resume to continue\n", *checkpoint)
+					fmt.Fprintf(stderr, "sfirun: tallies saved; rerun with -checkpoint %s -resume to continue\n", *checkpoint)
 				}
-				os.Exit(1)
+				return nil, errInterrupted
 			}
-			fatalf("campaign %q: %v", name, err)
+			return nil, fmt.Errorf("campaign %q: %v", name, err)
 		}
 		if n := len(res.EarlyStopped); n > 0 {
-			fmt.Fprintf(os.Stderr, "sfirun: %s: early stop halted %d/%d strata (%s of %s planned injections)\n",
+			fmt.Fprintf(stderr, "sfirun: %s: early stop halted %d/%d strata (%s of %s planned injections)\n",
 				name, n, len(plan.Subpops), report.Comma(res.Injections()), report.Comma(plan.TotalInjections()))
 		}
-		return res
+		return res, nil
+	}
+	campaignErr := func(err error) int {
+		if errors.Is(err, errInterrupted) {
+			return 1
+		}
+		return fail("%v", err)
 	}
 
 	plans := map[string]*sfi.Plan{
@@ -193,20 +216,31 @@ func main() {
 			"Approach", "FIs (n)", "Injected Faults [%]", "Avg Error Margin [%] (acceptable<1%)", "Covered layers")
 		tab.AddRow("exhaustive", space.Total(), "100.00%", "-", "-")
 		for _, name := range order {
-			cmp := sfi.Compare(run(name, plans[name], *runSeed), exhaustive)
+			res, err := runCampaign(name, plans[name], *runSeed)
+			if err != nil {
+				return campaignErr(err)
+			}
+			cmp := sfi.Compare(res, exhaustive)
 			tab.AddRow(name, cmp.Injections, report.Pct(cmp.InjectedFraction),
 				fmt.Sprintf("%.3f", cmp.AvgMargin*100),
 				fmt.Sprintf("%d/%d", cmp.CoveredLayers, space.NumLayers()))
 		}
-		tab.Render(os.Stdout)
-		fmt.Println()
+		tab.Render(stdout)
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig5 {
-		fmt.Printf("# Fig. 5 — %s: per-layer critical rate, layer-wise and data-aware SFI vs exhaustive\n", net.NetName)
-		lw := sfi.Compare(run("layer-wise", plans["layer-wise"], *runSeed), exhaustive)
-		da := sfi.Compare(run("data-aware", plans["data-aware"], *runSeed), exhaustive)
-		csv := report.NewCSV(os.Stdout,
+		fmt.Fprintf(stdout, "# Fig. 5 — %s: per-layer critical rate, layer-wise and data-aware SFI vs exhaustive\n", net.NetName)
+		lwRes, err := runCampaign("layer-wise", plans["layer-wise"], *runSeed)
+		if err != nil {
+			return campaignErr(err)
+		}
+		daRes, err := runCampaign("data-aware", plans["data-aware"], *runSeed)
+		if err != nil {
+			return campaignErr(err)
+		}
+		lw, da := sfi.Compare(lwRes, exhaustive), sfi.Compare(daRes, exhaustive)
+		csv := report.NewCSV(stdout,
 			"layer", "exhaustive",
 			"layerwise_est", "layerwise_margin", "layerwise_n",
 			"dataaware_est", "dataaware_margin", "dataaware_n")
@@ -216,16 +250,16 @@ func main() {
 				a.Estimate.PHat(), a.Margin, a.Estimate.SampleSize(),
 				b.Estimate.PHat(), b.Margin, b.Estimate.SampleSize())
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig6 {
 		if *layer < 0 || *layer >= space.NumLayers() {
-			fatalf("-layer must be in [0, %d) for %s", space.NumLayers(), net.NetName)
+			return fail("-layer must be in [0, %d) for %s", space.NumLayers(), net.NetName)
 		}
-		fmt.Printf("# Fig. 6 — %s layer %d: %d replicated samples per approach (exhaustive = %.4f%%)\n",
+		fmt.Fprintf(stdout, "# Fig. 6 — %s layer %d: %d replicated samples per approach (exhaustive = %.4f%%)\n",
 			net.NetName, *layer, *replicas, exhaustive[*layer]*100)
-		csv := report.NewCSV(os.Stdout, "approach", "sample", "n", "estimate", "margin", "covers_exhaustive")
+		csv := report.NewCSV(stdout, "approach", "sample", "n", "estimate", "margin", "covers_exhaustive")
 		for _, name := range order {
 			reps := sfi.ReplicatedEstimates(ev, plans[name], *layer, *replicas)
 			for s, est := range reps {
@@ -233,14 +267,21 @@ func main() {
 					est.Margin(cfg), est.Covers(cfg, exhaustive[*layer]))
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig7 {
-		fmt.Printf("# Fig. 7 — %s: per-layer critical rate, network-wise vs data-aware vs exhaustive\n", net.NetName)
-		nw := sfi.Compare(run("network-wise", plans["network-wise"], *runSeed), exhaustive)
-		da := sfi.Compare(run("data-aware", plans["data-aware"], *runSeed), exhaustive)
-		csv := report.NewCSV(os.Stdout,
+		fmt.Fprintf(stdout, "# Fig. 7 — %s: per-layer critical rate, network-wise vs data-aware vs exhaustive\n", net.NetName)
+		nwRes, err := runCampaign("network-wise", plans["network-wise"], *runSeed)
+		if err != nil {
+			return campaignErr(err)
+		}
+		daRes, err := runCampaign("data-aware", plans["data-aware"], *runSeed)
+		if err != nil {
+			return campaignErr(err)
+		}
+		nw, da := sfi.Compare(nwRes, exhaustive), sfi.Compare(daRes, exhaustive)
+		csv := report.NewCSV(stdout,
 			"layer", "exhaustive",
 			"networkwise_est", "networkwise_margin", "networkwise_n",
 			"dataaware_est", "dataaware_margin", "dataaware_n")
@@ -251,31 +292,49 @@ func main() {
 				b.Estimate.PHat(), b.Margin, b.Estimate.SampleSize())
 		}
 	}
+	return 0
 }
 
 // progressPrinter renders streaming engine events as stderr lines, one
-// per progress interval plus a final summary.
-func progressPrinter(name string) sfi.ProgressSink {
+// per progress interval plus a final summary carrying the evaluator's
+// experiment breakdown (masked skips, evaluations, early exits, arena
+// bytes).
+func progressPrinter(w io.Writer, name string) sfi.ProgressSink {
 	return func(p sfi.Progress) {
 		pct := 0.0
 		if p.Planned > 0 {
 			pct = float64(p.Done) / float64(p.Planned) * 100
 		}
 		if p.Final {
-			fmt.Fprintf(os.Stderr, "%s: done %s/%s injections (%.1f%%) critical=%s in %s (%.0f inj/s)\n",
+			fmt.Fprintf(w, "%s: done %s/%s injections (%.1f%%) critical=%s in %s (%.0f inj/s)%s\n",
 				name, report.Comma(p.Done), report.Comma(p.Planned), pct,
-				report.Comma(p.Critical), p.Elapsed.Round(time.Millisecond), p.Rate)
+				report.Comma(p.Critical), p.Elapsed.Round(time.Millisecond), p.Rate,
+				evalSuffix(p.Eval))
 			return
 		}
-		fmt.Fprintf(os.Stderr, "%s: %s/%s injections (%.1f%%) critical=%s stratum %d (%s/%s) %.0f inj/s\n",
+		fmt.Fprintf(w, "%s: %s/%s injections (%.1f%%) critical=%s stratum %d (%s/%s) %.0f inj/s\n",
 			name, report.Comma(p.Done), report.Comma(p.Planned), pct, report.Comma(p.Critical),
 			p.Stratum, report.Comma(p.StratumDone), report.Comma(p.StratumPlanned), p.Rate)
 	}
 }
 
+// evalSuffix formats the skip/eval counters of a final progress event;
+// empty when the evaluator reports no stats.
+func evalSuffix(s sfi.EvalStats) string {
+	if s.Experiments() == 0 {
+		return ""
+	}
+	out := fmt.Sprintf(" [skipped %s masked, evaluated %s, early-exits %s",
+		report.Comma(s.Skipped), report.Comma(s.Evaluated), report.Comma(s.EarlyExits))
+	if s.ArenaBytes > 0 {
+		out += fmt.Sprintf(", arena %s B", report.Comma(s.ArenaBytes))
+	}
+	return out + "]"
+}
+
 // exhaustiveByInference enumerates the whole population with real
 // forward passes (SmallCNN only; ~2 minutes on one core).
-func exhaustiveByInference(inj *sfi.Injector) []float64 {
+func exhaustiveByInference(stderr io.Writer, inj *sfi.Injector) []float64 {
 	space := inj.Space()
 	rates := make([]float64, space.NumLayers())
 	for l := 0; l < space.NumLayers(); l++ {
@@ -287,14 +346,16 @@ func exhaustiveByInference(inj *sfi.Injector) []float64 {
 			}
 		}
 		rates[l] = float64(critical) / float64(n)
-		fmt.Fprintf(os.Stderr, "  layer %d: %s faults, critical rate %.4f%%\n",
+		fmt.Fprintf(stderr, "  layer %d: %s faults, critical rate %.4f%%\n",
 			l, report.Comma(n), rates[l]*100)
 	}
 	return rates
 }
 
-// Compile-time checks that both substrates satisfy the Evaluator
-// interface used above.
+// Compile-time checks that both substrates satisfy the Evaluator and
+// StatsReporter interfaces used above.
 var (
-	_ core.Evaluator = (*oracle.Oracle)(nil)
+	_ core.Evaluator     = (*oracle.Oracle)(nil)
+	_ core.StatsReporter = (*oracle.Oracle)(nil)
+	_ core.StatsReporter = (*sfi.Injector)(nil)
 )

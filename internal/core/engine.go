@@ -157,6 +157,12 @@ type execution struct {
 
 	sinceProgress   int64
 	sinceCheckpoint int64
+
+	// reporter/statsBase surface the evaluator's EvalStats in Progress:
+	// the baseline snapshot taken when Execute started is subtracted so
+	// events report this campaign's work only.
+	reporter  StatsReporter
+	statsBase EvalStats
 }
 
 // Execute runs the plan against the evaluator. It returns a complete
@@ -195,6 +201,10 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		start:       time.Now(),
 		strata:      make([]*stratumState, len(plan.Subpops)),
 		lastStratum: -1,
+	}
+	if r, ok := ev.(StatsReporter); ok {
+		x.reporter = r
+		x.statsBase = r.EvalStats()
 	}
 	for i, sub := range plan.Subpops {
 		st := &stratumState{}
@@ -427,6 +437,9 @@ func (x *execution) emitProgress(final bool) {
 	}
 	if secs := p.Elapsed.Seconds(); secs > 0 {
 		p.Rate = float64(x.merged-x.restored) / secs
+	}
+	if x.reporter != nil {
+		p.Eval = x.reporter.EvalStats().Sub(x.statsBase)
 	}
 	x.engine.progress(p)
 }

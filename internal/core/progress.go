@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"cnnsfi/internal/evalstats"
+)
 
 // Progress is one streaming status event of a running campaign. Events
 // are emitted by the Engine from its dispatcher goroutine — never
@@ -32,7 +36,28 @@ type Progress struct {
 	// Final marks the last event of the run (emitted on completion,
 	// early-stop exhaustion, and cancellation alike).
 	Final bool
+	// Eval breaks down how the evaluator resolved this campaign's
+	// experiments, when the evaluator implements StatsReporter (zero
+	// otherwise). Counts are deltas since Execute started, so work from
+	// earlier campaigns or checkpoint-restored runs is excluded.
+	// Non-final events may lag Done slightly (the counters advance on
+	// worker goroutines as experiments run, while Done advances on
+	// in-order merge); the Final event is exact.
+	Eval EvalStats
 }
+
+// EvalStats is the evaluator experiment breakdown (masked skips, full
+// evaluations, SDC early exits, arena bytes); see evalstats.EvalStats
+// for field documentation. It is defined in the leaf package
+// internal/evalstats so evaluator substrates can implement
+// StatsReporter without importing the engine.
+type EvalStats = evalstats.EvalStats
+
+// StatsReporter is an optional Evaluator extension: evaluators that
+// track EvalStats expose them here and the Engine surfaces them in
+// Progress.Eval. Both the inference injector and the oracle implement
+// it.
+type StatsReporter = evalstats.Reporter
 
 // ProgressSink consumes streaming Progress events. The Engine calls the
 // sink synchronously from its dispatcher goroutine, so implementations

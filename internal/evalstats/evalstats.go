@@ -1,0 +1,54 @@
+// Package evalstats defines the evaluation-statistics surface shared by
+// the campaign engine (internal/core) and every evaluator substrate
+// (internal/inject, internal/oracle). It sits below all of them in the
+// import graph so substrates can implement the Reporter interface
+// without importing the engine; core re-exports the names, and most
+// code should refer to core.EvalStats / core.StatsReporter.
+package evalstats
+
+// EvalStats summarizes how an evaluator spent its experiments. It is
+// the observability half of the evaluation fast path: campaigns read it
+// through core.Progress.Eval, tools through the sfi facade.
+type EvalStats struct {
+	// Skipped counts experiments classified without any inference — the
+	// masked-fault short-circuit (a stuck-at fault whose target bit
+	// already holds the stuck value, provably Non-critical).
+	Skipped int64
+	// Evaluated counts experiments that ran the evaluation loop.
+	Evaluated int64
+	// EarlyExits counts evaluated experiments that terminated before
+	// scanning the whole evaluation set (the SDC first-mismatch exit).
+	// Always ≤ Evaluated.
+	EarlyExits int64
+	// ArenaBytes is the scratch-arena storage retained across the
+	// evaluator and all its worker clones, in bytes — the steady-state
+	// memory cost of allocation-free evaluation (0 for evaluators
+	// without arenas).
+	ArenaBytes int64
+}
+
+// Experiments returns the total number of experiments the stats cover.
+func (s EvalStats) Experiments() int64 { return s.Skipped + s.Evaluated }
+
+// Sub returns the campaign-local view of s against a baseline snapshot
+// taken when the campaign started: the monotone counters are
+// differenced, while ArenaBytes — a level, not a flow — is carried
+// as-is (arena storage persists across campaigns by design).
+func (s EvalStats) Sub(base EvalStats) EvalStats {
+	return EvalStats{
+		Skipped:    s.Skipped - base.Skipped,
+		Evaluated:  s.Evaluated - base.Evaluated,
+		EarlyExits: s.EarlyExits - base.EarlyExits,
+		ArenaBytes: s.ArenaBytes,
+	}
+}
+
+// Reporter is an optional evaluator extension: evaluators that track
+// EvalStats expose them here and the campaign engine surfaces them in
+// progress events. Both the inference injector and the oracle implement
+// it. EvalStats must be safe to call concurrently with evaluation
+// (counter reads are atomic; mid-campaign snapshots may be slightly
+// stale).
+type Reporter interface {
+	EvalStats() EvalStats
+}

@@ -120,9 +120,14 @@ func FlipDistance32(v float32, i int) float64 {
 }
 
 // StuckDistance32 returns |v − stuck(v, i, stuckAt)|. The distance is 0
-// when the bit already holds the stuck value.
+// when the bit already holds the stuck value — checked on the bit
+// pattern, not the float comparison, so masked faults on NaN weights
+// are 0 too rather than hitting the NaN clamp in distance.
 func StuckDistance32(v float32, i int, stuckAt bool) float64 {
 	f := StuckAt32(v, i, stuckAt)
+	if math.Float32bits(f) == math.Float32bits(v) {
+		return 0
+	}
 	return distance(float64(v), float64(f))
 }
 

@@ -106,3 +106,141 @@ func FuzzFlipDistanceFinite(f *testing.F) {
 		}
 	})
 }
+
+// bitEdgeCases seeds the word-level targets with the encodings where
+// bit manipulation historically goes wrong: zeros, denormals, NaNs with
+// payloads, infinities, and the extreme finite values. Inputs are raw
+// uint32 words, not float32 parameters, so NaN payload bits reach the
+// property unmangled.
+var bitEdgeCases = []uint32{
+	0x00000000, // +0
+	0x80000000, // -0
+	0x3F800000, // 1.0
+	0xBF800000, // -1.0
+	0x00000001, // smallest positive denormal
+	0x807FFFFF, // largest negative denormal
+	0x7F7FFFFF, // MaxFloat32
+	0x7F800000, // +Inf
+	0xFF800000, // -Inf
+	0x7FC00000, // canonical quiet NaN
+	0x7FC00001, // quiet NaN with payload
+	0x7F800001, // signalling NaN encoding
+	0xFFFFFFFF, // NaN, every bit set
+}
+
+// FuzzStuckAtBits checks that the bit-mutation primitives are exact
+// word-level operations for every encoding and bit position: the result
+// differs from the input by precisely the target bit, stuck-ats are
+// idempotent, flips invert and round-trip, and NaN payloads and
+// denormal patterns survive untouched. These properties are what make
+// the injector's masked-fault short-circuit exact, so they are fuzzed
+// rather than spot-checked.
+func FuzzStuckAtBits(f *testing.F) {
+	for _, bits := range bitEdgeCases {
+		for _, bit := range []uint8{0, 22, 23, 30, 31} {
+			f.Add(bits, bit)
+		}
+	}
+	f.Fuzz(func(t *testing.T, bits uint32, bit uint8) {
+		i := int(bit % Bits32)
+		mask := uint32(1) << uint(i)
+		v := math.Float32frombits(bits)
+
+		// Go preserves float32 bit patterns (including NaN payloads)
+		// through assignment; every property below relies on it.
+		if math.Float32bits(v) != bits {
+			t.Fatalf("float32 round-trip mangled 0x%08x to 0x%08x", bits, math.Float32bits(v))
+		}
+
+		set := SetBit32(v, i)
+		clr := ClearBit32(v, i)
+		flip := FlipBit32(v, i)
+
+		// Exact word arithmetic: only the target bit may change.
+		if got := math.Float32bits(set); got != bits|mask {
+			t.Errorf("SetBit32(0x%08x, %d) = 0x%08x, want 0x%08x", bits, i, got, bits|mask)
+		}
+		if got := math.Float32bits(clr); got != bits&^mask {
+			t.Errorf("ClearBit32(0x%08x, %d) = 0x%08x, want 0x%08x", bits, i, got, bits&^mask)
+		}
+		if got := math.Float32bits(flip); got != bits^mask {
+			t.Errorf("FlipBit32(0x%08x, %d) = 0x%08x, want 0x%08x", bits, i, got, bits^mask)
+		}
+
+		// Post-conditions on the target bit.
+		if !Bit32(set, i) {
+			t.Errorf("bit %d not set after SetBit32", i)
+		}
+		if Bit32(clr, i) {
+			t.Errorf("bit %d not clear after ClearBit32", i)
+		}
+		if Bit32(flip, i) == Bit32(v, i) {
+			t.Errorf("bit %d unchanged after FlipBit32", i)
+		}
+
+		// Idempotence of the stuck-at mutations.
+		if got := math.Float32bits(SetBit32(set, i)); got != math.Float32bits(set) {
+			t.Errorf("SetBit32 not idempotent at bit %d: 0x%08x", i, got)
+		}
+		if got := math.Float32bits(ClearBit32(clr, i)); got != math.Float32bits(clr) {
+			t.Errorf("ClearBit32 not idempotent at bit %d: 0x%08x", i, got)
+		}
+
+		// A flip is exactly the non-masked stuck-at variant, and a second
+		// flip restores the original word.
+		want := set
+		if Bit32(v, i) {
+			want = clr
+		}
+		if math.Float32bits(flip) != math.Float32bits(want) {
+			t.Errorf("flip at bit %d != complementary stuck-at", i)
+		}
+		if got := math.Float32bits(FlipBit32(flip, i)); got != bits {
+			t.Errorf("double flip at bit %d: 0x%08x, want 0x%08x", i, got, bits)
+		}
+
+		// StuckAt32 is definitionally Set/Clear.
+		if math.Float32bits(StuckAt32(v, i, true)) != math.Float32bits(set) ||
+			math.Float32bits(StuckAt32(v, i, false)) != math.Float32bits(clr) {
+			t.Errorf("StuckAt32 disagrees with Set/ClearBit32 at bit %d", i)
+		}
+
+		// Masking equivalence: a stuck-at leaves the word unchanged iff
+		// the bit already holds the stuck value — the exactness claim
+		// behind the injector's masked-fault short-circuit.
+		if (math.Float32bits(set) == bits) != Bit32(v, i) {
+			t.Errorf("stuck-at-1 masking disagrees with Bit32 at bit %d of 0x%08x", i, bits)
+		}
+		if (math.Float32bits(clr) == bits) != !Bit32(v, i) {
+			t.Errorf("stuck-at-0 masking disagrees with Bit32 at bit %d of 0x%08x", i, bits)
+		}
+
+		// Role classification never panics for in-range bits.
+		_ = RoleOf32(i)
+	})
+}
+
+// FuzzStuckDistanceMasked checks the Fig. 2 stuck-at distances on
+// arbitrary encodings: always finite, within [0, MaxDistance], and
+// exactly 0 for the masked variant of every (word, bit) pair.
+func FuzzStuckDistanceMasked(f *testing.F) {
+	for _, bits := range bitEdgeCases {
+		f.Add(bits, uint8(30))
+		f.Add(bits, uint8(0))
+	}
+	f.Fuzz(func(t *testing.T, bits uint32, bit uint8) {
+		i := int(bit % Bits32)
+		v := math.Float32frombits(bits)
+		for _, stuckAt := range []bool{false, true} {
+			d := StuckDistance32(v, i, stuckAt)
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 || d > MaxDistance {
+				t.Fatalf("distance %v out of [0, MaxDistance] (bits 0x%08x, bit %d, stuckAt %v)",
+					d, bits, i, stuckAt)
+			}
+			if masked := Bit32(v, i) == stuckAt; masked && d != 0 {
+				t.Errorf("masked stuck-at distance %v, want 0 (bits 0x%08x, bit %d, stuckAt %v)",
+					d, bits, i, stuckAt)
+			}
+		}
+	})
+}

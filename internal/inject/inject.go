@@ -4,7 +4,7 @@
 // fixed test set, the outcome is classified Critical or Non-critical,
 // and the weight is restored.
 //
-// Two optimizations make exhaustive campaigns tractable on a CPU:
+// Four optimizations make exhaustive campaigns tractable on a CPU:
 //
 //   - Golden prefix caching: for every test image the activations of
 //     every graph node are computed once; a fault in weight layer l only
@@ -13,6 +13,14 @@
 //   - Early exit: under the SDC criterion a fault is Critical as soon as
 //     one image's top-1 prediction changes, so critical faults terminate
 //     after the first mismatching image.
+//   - Masked-fault short-circuit: a stuck-at fault whose target bit
+//     already holds the stuck value (about half the stuck-at universe)
+//     leaves the weight bit-identical and is classified Non-critical
+//     with no inference at all. See Injector.Masked.
+//   - Arena execution: the evaluation loop draws every recomputed
+//     activation from a per-injector scratch arena (nn.Network's
+//     ExecFromScratch), so steady-state experiments perform zero heap
+//     allocations. EvalStats reports how each experiment was resolved.
 //
 // A third lever is parallelism: Injector.Clone produces per-worker
 // copies that share the (immutable) golden state but own independent
@@ -97,6 +105,29 @@ type Injector struct {
 	// count is where experiment counts accumulate: the root injector's
 	// own Injections field, shared by every clone derived from it.
 	count *int64
+
+	// counters aggregates the campaign-wide evaluation statistics
+	// (masked skips, full evaluations, SDC early exits, arena bytes),
+	// shared by every clone derived from the same root and updated
+	// atomically — like count, but for the EvalStats breakdown.
+	counters *evalCounters
+
+	// scratch is this injector's reusable node-output slice for the hot
+	// path; per-instance (not shared with clones) like Net's arena.
+	scratch []*tensor.Tensor
+	// arenaSeen is how much of Net's arena growth this injector has
+	// already published to counters.ArenaBytes (owner-only state).
+	arenaSeen int64
+}
+
+// evalCounters is the shared, atomically-updated backing store for
+// core.EvalStats. One instance is shared by a root injector and all its
+// clones so a parallel campaign aggregates into a single tally.
+type evalCounters struct {
+	skipped    int64
+	evaluated  int64
+	earlyExits int64
+	arenaBytes int64
 }
 
 // New builds an injector over the network and evaluation set, computing
@@ -111,6 +142,7 @@ func New(net *nn.Network, ds *dataset.Dataset) *Injector {
 		layers: net.WeightLayers(),
 	}
 	inj.count = &inj.Injections
+	inj.counters = &evalCounters{}
 	for l := range inj.layers {
 		inj.nodes = append(inj.nodes, net.WeightNodeIndex(l))
 	}
@@ -175,6 +207,7 @@ func (inj *Injector) Clone() *Injector {
 		nodes:     inj.nodes,
 		acc:       inj.acc,
 		count:     inj.count,
+		counters:  inj.stats(),
 	}
 	if c.count == nil { // zero-value parent never initialised its counter
 		c.count = &inj.Injections
@@ -197,12 +230,50 @@ func (inj *Injector) countInjection() {
 	atomic.AddInt64(inj.count, 1)
 }
 
-// Apply injects the fault into the network weights and returns a restore
-// function that must be called to undo it. Any of the three fault models
-// is accepted (campaigns sample from the stuck-at universe, but the
-// multi-fault extension also applies transient flips to weights). It
-// panics on an invalid fault location.
-func (inj *Injector) Apply(f faultmodel.Fault) (restore func()) {
+// stats returns the shared counter block, lazily initialising it for
+// zero-value injectors (serial use only, like countInjection).
+func (inj *Injector) stats() *evalCounters {
+	if inj.counters == nil {
+		inj.counters = &evalCounters{}
+	}
+	return inj.counters
+}
+
+// EvalStats implements core.StatsReporter: a snapshot of how this
+// injector (and every clone sharing its root) has spent experiments.
+// Mid-campaign reads are approximate (counters advance concurrently);
+// reads after the campaign's goroutines are joined are exact.
+func (inj *Injector) EvalStats() core.EvalStats {
+	c := inj.stats()
+	return core.EvalStats{
+		Skipped:    atomic.LoadInt64(&c.skipped),
+		Evaluated:  atomic.LoadInt64(&c.evaluated),
+		EarlyExits: atomic.LoadInt64(&c.earlyExits),
+		ArenaBytes: atomic.LoadInt64(&c.arenaBytes),
+	}
+}
+
+// publishArenaGrowth adds any new growth of this injector's private
+// arena to the shared ArenaBytes tally. Only the delta is published, so
+// the aggregate across clones is the sum of every worker's retained
+// scratch space.
+func (inj *Injector) publishArenaGrowth(c *evalCounters) {
+	if b := inj.Net.ScratchArena().Bytes(); b != inj.arenaSeen {
+		atomic.AddInt64(&c.arenaBytes, b-inj.arenaSeen)
+		inj.arenaSeen = b
+	}
+}
+
+// scratchBuf returns this injector's reusable node-output slice.
+func (inj *Injector) scratchBuf() []*tensor.Tensor {
+	if len(inj.scratch) != len(inj.Net.Nodes) {
+		inj.scratch = make([]*tensor.Tensor, len(inj.Net.Nodes))
+	}
+	return inj.scratch
+}
+
+// checkFault panics if the fault's location or model is invalid.
+func (inj *Injector) checkFault(f faultmodel.Fault) {
 	if f.Layer < 0 || f.Layer >= len(inj.layers) {
 		panic(fmt.Sprintf("inject: layer %d out of range", f.Layer))
 	}
@@ -212,41 +283,105 @@ func (inj *Injector) Apply(f faultmodel.Fault) (restore func()) {
 	if f.Bit < 0 || f.Bit >= fp.Bits32 {
 		panic(fmt.Sprintf("inject: bit %d out of range", f.Bit))
 	}
-	w := inj.layers[f.Layer].WeightData()
-	old := w[f.Param]
 	switch f.Model {
-	case faultmodel.StuckAt0:
-		w[f.Param] = fp.ClearBit32(old, f.Bit)
-	case faultmodel.StuckAt1:
-		w[f.Param] = fp.SetBit32(old, f.Bit)
-	case faultmodel.BitFlip:
-		w[f.Param] = fp.FlipBit32(old, f.Bit)
+	case faultmodel.StuckAt0, faultmodel.StuckAt1, faultmodel.BitFlip:
 	default:
 		panic(fmt.Sprintf("inject: unsupported fault model %v", f.Model))
 	}
+}
+
+// faultValue returns the corrupted weight value f produces from old.
+func faultValue(old float32, f faultmodel.Fault) float32 {
+	switch f.Model {
+	case faultmodel.StuckAt0:
+		return fp.ClearBit32(old, f.Bit)
+	case faultmodel.StuckAt1:
+		return fp.SetBit32(old, f.Bit)
+	default: // BitFlip; checkFault rejected everything else
+		return fp.FlipBit32(old, f.Bit)
+	}
+}
+
+// Masked reports whether f is masked by construction: a stuck-at fault
+// whose target bit already holds the stuck value. Applying such a fault
+// leaves the weight bit-identical, so the "faulty" network IS the golden
+// network and the verdict is Non-critical under every criterion — no
+// inference needed, and the short-circuit is exact, not approximate.
+// For any weight, bit i is either 0 or 1, masking exactly one of the two
+// stuck-at variants, so about half of the stuck-at universe is masked.
+// BitFlip always changes the stored bit and is never masked. The
+// predicate is pure bit arithmetic (fp.Bit32), so denormal, NaN and Inf
+// weights are classified exactly. Like Apply, it panics on an invalid
+// fault.
+func (inj *Injector) Masked(f faultmodel.Fault) bool {
+	inj.checkFault(f)
+	switch f.Model {
+	case faultmodel.StuckAt0:
+		return !fp.Bit32(inj.layers[f.Layer].WeightData()[f.Param], f.Bit)
+	case faultmodel.StuckAt1:
+		return fp.Bit32(inj.layers[f.Layer].WeightData()[f.Param], f.Bit)
+	default:
+		return false
+	}
+}
+
+// Apply injects the fault into the network weights and returns a restore
+// function that must be called to undo it. Any of the three fault models
+// is accepted (campaigns sample from the stuck-at universe, but the
+// multi-fault extension also applies transient flips to weights). It
+// panics on an invalid fault location.
+//
+// The returned closure escapes to the heap; IsCritical/MismatchCount
+// inline the same mutate-and-restore sequence instead to stay
+// allocation-free.
+func (inj *Injector) Apply(f faultmodel.Fault) (restore func()) {
+	inj.checkFault(f)
+	w := inj.layers[f.Layer].WeightData()
+	old := w[f.Param]
+	w[f.Param] = faultValue(old, f)
 	return func() { w[f.Param] = old }
 }
 
-// IsCritical runs one complete fault-injection experiment: apply the
-// fault, re-evaluate the suffix of the network on every image (with
+// IsCritical runs one complete fault-injection experiment: classify the
+// fault as Non-critical outright if it is masked (no inference), else
+// apply it, re-evaluate the suffix of the network on every image (with
 // early exit under SDC), classify, restore.
+//
+// The evaluation loop is allocation-free in steady state: node outputs
+// come from the network's scratch arena (ExecFromScratch) and the
+// per-experiment cache view is a reused per-injector slice.
 func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
-	restore := inj.Apply(f)
-	defer restore()
 	inj.countInjection()
+	c := inj.stats()
+	if inj.Masked(f) {
+		atomic.AddInt64(&c.skipped, 1)
+		return false
+	}
+	atomic.AddInt64(&c.evaluated, 1)
+
+	w := inj.layers[f.Layer].WeightData()
+	old := w[f.Param]
+	w[f.Param] = faultValue(old, f)
+	defer func() {
+		w[f.Param] = old
+		inj.publishArenaGrowth(c)
+	}()
 
 	from := inj.nodes[f.Layer]
-	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))
+	scratch := inj.scratchBuf()
 
 	mismatches := 0
 	correct := 0
 	for i, img := range inj.images {
 		copy(scratch, inj.caches[i])
-		out := inj.Net.ExecFrom(img, scratch, from)
+		out := inj.Net.ExecFromScratch(img, scratch, from)
 		pred := predictChecked(out)
 		if pred != inj.golden[i] {
 			mismatches++
 			if inj.Criterion == SDC {
+				if i < len(inj.images)-1 {
+					atomic.AddInt64(&c.earlyExits, 1)
+				}
 				return true
 			}
 		}
@@ -269,18 +404,32 @@ func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
 
 // MismatchCount applies the fault and returns how many evaluation images
 // change their top-1 prediction (no early exit). Useful for analyses
-// beyond the binary Critical/Non-critical classification.
+// beyond the binary Critical/Non-critical classification. Masked faults
+// short-circuit to 0, and the evaluation loop shares IsCritical's
+// allocation-free arena path.
 func (inj *Injector) MismatchCount(f faultmodel.Fault) int {
-	restore := inj.Apply(f)
-	defer restore()
 	inj.countInjection()
+	c := inj.stats()
+	if inj.Masked(f) {
+		atomic.AddInt64(&c.skipped, 1)
+		return 0
+	}
+	atomic.AddInt64(&c.evaluated, 1)
+
+	w := inj.layers[f.Layer].WeightData()
+	old := w[f.Param]
+	w[f.Param] = faultValue(old, f)
+	defer func() {
+		w[f.Param] = old
+		inj.publishArenaGrowth(c)
+	}()
 
 	from := inj.nodes[f.Layer]
-	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))
+	scratch := inj.scratchBuf()
 	mismatches := 0
 	for i, img := range inj.images {
 		copy(scratch, inj.caches[i])
-		out := inj.Net.ExecFrom(img, scratch, from)
+		out := inj.Net.ExecFromScratch(img, scratch, from)
 		if predictChecked(out) != inj.golden[i] {
 			mismatches++
 		}

@@ -2,9 +2,9 @@ package inject
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cnnsfi/internal/faultmodel"
-	"cnnsfi/internal/tensor"
 )
 
 // IsCriticalMulti evaluates several simultaneous faults as one
@@ -13,9 +13,24 @@ import (
 // adjacent cells) or accumulated permanent defects. All faults are
 // applied together, the network suffix from the earliest affected layer
 // is re-executed, the criterion is evaluated, and every fault is
-// reverted. An empty fault list is never critical.
+// reverted. An empty fault list is never critical, and so is a list
+// whose faults are all masked (each would leave its weight
+// bit-identical, so together they reproduce the golden network).
 func (inj *Injector) IsCriticalMulti(faults []faultmodel.Fault) bool {
 	if len(faults) == 0 {
+		return false
+	}
+	allMasked := true
+	for _, f := range faults {
+		if !inj.Masked(f) {
+			allMasked = false
+			break
+		}
+	}
+	c := inj.stats()
+	if allMasked {
+		inj.countInjection()
+		atomic.AddInt64(&c.skipped, 1)
 		return false
 	}
 	restores := make([]func(), 0, len(faults))
@@ -30,21 +45,26 @@ func (inj *Injector) IsCriticalMulti(faults []faultmodel.Fault) bool {
 		for i := len(restores) - 1; i >= 0; i-- {
 			restores[i]()
 		}
+		inj.publishArenaGrowth(c)
 	}()
 	inj.countInjection()
+	atomic.AddInt64(&c.evaluated, 1)
 
 	from := inj.nodes[earliest]
-	scratch := make([]*tensor.Tensor, len(inj.Net.Nodes))
+	scratch := inj.scratchBuf()
 
 	mismatches := 0
 	correct := 0
 	for i, img := range inj.images {
 		copy(scratch, inj.caches[i])
-		out := inj.Net.ExecFrom(img, scratch, from)
+		out := inj.Net.ExecFromScratch(img, scratch, from)
 		pred := predictChecked(out)
 		if pred != inj.golden[i] {
 			mismatches++
 			if inj.Criterion == SDC {
+				if i < len(inj.images)-1 {
+					atomic.AddInt64(&c.earlyExits, 1)
+				}
 				return true
 			}
 		}

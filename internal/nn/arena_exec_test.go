@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnsfi/internal/tensor"
+)
+
+// testNet builds a small network exercising every layer type in this
+// package (conv direct + im2col + depthwise, batchnorm, both rectifiers,
+// residual add, shortcut, all pools, flatten, linear) with deterministic
+// pseudo-random weights.
+func testNet(t testing.TB) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	fill := func(w []float32) {
+		for i := range w {
+			w[i] = float32(rng.NormFloat64()) * 0.3
+		}
+	}
+	n := NewNetwork("arena-test")
+	c0 := NewConv2D("conv0", 3, 8, 3, 1, 1, 1) // im2col path (8 outC, 16x16)
+	fill(c0.W)
+	n.Add(c0)
+	bn := NewBatchNorm2D("bn0", 8)
+	fill(bn.Mean)
+	n.Add(bn)
+	r0 := n.Add(&ReLU{Label: "relu0"})
+	dw := NewConv2D("dw", 8, 8, 3, 1, 1, 8) // depthwise → direct path
+	fill(dw.W)
+	n.Add(dw)
+	n.Add(&ReLU6{Label: "relu6"})
+	sc := n.Add(&ShortcutA{Label: "sc", Stride: 1, OutC: 8}, r0)
+	prev := len(n.Nodes) - 2 // relu6 node
+	n.Add(&Add{Label: "add"}, prev, sc)
+	n.Add(&MaxPool2D{Label: "maxpool", Kernel: 2, Stride: 2})
+	n.Add(&AvgPool2D{Label: "avgpool", Kernel: 2, Stride: 2})
+	n.Add(&GlobalAvgPool{Label: "gap"})
+	n.Add(&Flatten{Label: "flat"})
+	fc := NewLinear("fc", 8, 4)
+	fill(fc.W)
+	n.Add(fc)
+	return n
+}
+
+func testInput(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+// TestExecFromScratchMatchesExec pins the tentpole equivalence at the nn
+// level: the arena execution path must reproduce the heap path bit for
+// bit, for full runs and for every suffix start.
+func TestExecFromScratchMatchesExec(t *testing.T) {
+	n := testNet(t)
+	for seed := int64(0); seed < 3; seed++ {
+		x := testInput(seed)
+		want := n.Exec(x)
+		cache := n.Exec(x)
+		scratch := make([]*tensor.Tensor, len(n.Nodes))
+		for from := 0; from < len(n.Nodes); from++ {
+			copy(scratch, cache)
+			out := n.ExecFromScratch(x, scratch, from)
+			for i := from; i < len(n.Nodes); i++ {
+				if !tensor.SameShape(scratch[i], want[i]) {
+					t.Fatalf("from=%d node %d shape %v, want %v", from, i, scratch[i].Shape, want[i].Shape)
+				}
+				for j := range want[i].Data {
+					got := math.Float32bits(scratch[i].Data[j])
+					exp := math.Float32bits(want[i].Data[j])
+					if got != exp {
+						t.Fatalf("from=%d node %d elem %d: %08x != %08x", from, i, j, got, exp)
+					}
+				}
+			}
+			if out != scratch[len(scratch)-1] {
+				t.Fatalf("from=%d: returned tensor is not the last cache entry", from)
+			}
+		}
+	}
+}
+
+// TestExecFromScratchSteadyStateAllocFree asserts the hot path reaches
+// zero heap allocations once the arena is warm.
+func TestExecFromScratchSteadyStateAllocFree(t *testing.T) {
+	n := testNet(t)
+	x := testInput(1)
+	cache := n.Exec(x)
+	scratch := make([]*tensor.Tensor, len(n.Nodes))
+	run := func() {
+		copy(scratch, cache)
+		n.ExecFromScratch(x, scratch, 0)
+	}
+	run() // warm the arena
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("warm ExecFromScratch allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCloneArenaIndependent verifies clones never share arena state.
+func TestCloneArenaIndependent(t *testing.T) {
+	n := testNet(t)
+	x := testInput(2)
+	cache := n.Exec(x)
+	scratch := make([]*tensor.Tensor, len(n.Nodes))
+	copy(scratch, cache)
+	n.ExecFromScratch(x, scratch, 0)
+	if n.ScratchArena().Bytes() == 0 {
+		t.Fatalf("owner arena did not grow")
+	}
+	c := n.Clone()
+	if c.scratch != nil {
+		t.Fatalf("clone inherited the parent's arena")
+	}
+	if c.ScratchArena() == n.ScratchArena() {
+		t.Fatalf("clone's lazily created arena aliases the parent's")
+	}
+}

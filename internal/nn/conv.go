@@ -65,6 +65,16 @@ func (c *Conv2D) OutSize(in int) int { return (in+2*c.Pad-c.KH)/c.Stride + 1 }
 
 // Forward computes the convolution of a CHW input.
 func (c *Conv2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return c.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer: both the output tensor and the
+// im2col patch matrix come from the arena.
+func (c *Conv2D) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return c.forward(a, inputs...)
+}
+
+func (c *Conv2D) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
 	if x.Shape[0] != c.InC {
 		panic(fmt.Sprintf("nn: conv %q expects %d input channels, got %d", c.Label, c.InC, x.Shape[0]))
@@ -73,9 +83,9 @@ func (c *Conv2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
 	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
 	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
 	if c.useIm2col(oh, ow) {
-		return c.forwardIm2col(x)
+		return c.forwardIm2col(a, x)
 	}
-	out := tensor.New(c.OutC, oh, ow)
+	out := outTensor(a, c.OutC, oh, ow)
 
 	icg := c.InC / c.Groups  // input channels per group
 	ocg := c.OutC / c.Groups // output channels per group
@@ -164,11 +174,20 @@ func (l *Linear) CloneWeights() WeightLayer {
 
 // Forward computes W·x (+ bias) for a rank-1 input of length In.
 func (l *Linear) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return l.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (l *Linear) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return l.forward(a, inputs...)
+}
+
+func (l *Linear) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
 	if x.Len() != l.In {
 		panic(fmt.Sprintf("nn: linear %q expects %d inputs, got %d", l.Label, l.In, x.Len()))
 	}
-	out := tensor.New(l.Out)
+	out := outTensor(a, l.Out)
 	for o := 0; o < l.Out; o++ {
 		row := l.W[o*l.In : (o+1)*l.In]
 		var sum float32
@@ -233,6 +252,15 @@ func (b *BatchNorm2D) Refold() {
 
 // Forward applies the folded affine transform per channel.
 func (b *BatchNorm2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return b.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (b *BatchNorm2D) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return b.forward(a, inputs...)
+}
+
+func (b *BatchNorm2D) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
 	if b.scale == nil {
 		b.Refold()
@@ -240,7 +268,7 @@ func (b *BatchNorm2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
 	if x.Shape[0] != b.C {
 		panic(fmt.Sprintf("nn: batchnorm %q expects %d channels, got %d", b.Label, b.C, x.Shape[0]))
 	}
-	out := tensor.New(x.Shape...)
+	out := outTensor(a, x.Shape...)
 	plane := x.Shape[1] * x.Shape[2]
 	for c := 0; c < b.C; c++ {
 		s, sh := b.scale[c], b.shift[c]

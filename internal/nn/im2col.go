@@ -19,8 +19,10 @@ const (
 )
 
 // forwardIm2col computes the convolution by patch gathering. Only valid
-// for Groups == 1.
-func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
+// for Groups == 1. The patch matrix and output come from a when non-nil;
+// the gather relies on both starting zero-filled (padding positions are
+// never written).
+func (c *Conv2D) forwardIm2col(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	h, w := x.Shape[1], x.Shape[2]
 	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
 	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
@@ -28,7 +30,12 @@ func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
 	ksize := c.InC * c.KH * c.KW
 
 	// Gather: buf[k*cols + col] = x[patch k of output position col].
-	buf := make([]float32, ksize*cols)
+	var buf []float32
+	if a != nil {
+		buf = a.Scratch(ksize * cols)
+	} else {
+		buf = make([]float32, ksize*cols)
+	}
 	k := 0
 	for ic := 0; ic < c.InC; ic++ {
 		plane := x.Data[ic*h*w : (ic+1)*h*w]
@@ -57,7 +64,7 @@ func (c *Conv2D) forwardIm2col(x *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// GEMM: out[oc] = W[oc] · buf.
-	out := tensor.New(c.OutC, oh, ow)
+	out := outTensor(a, c.OutC, oh, ow)
 	for oc := 0; oc < c.OutC; oc++ {
 		wRow := c.W[oc*ksize : (oc+1)*ksize]
 		dst := out.Data[oc*cols : (oc+1)*cols]

@@ -25,6 +25,35 @@ type Layer interface {
 	Forward(inputs ...*tensor.Tensor) *tensor.Tensor
 }
 
+// ArenaLayer is a Layer that can draw its output tensor (and any
+// internal scratch buffers) from a caller-owned tensor.Arena instead of
+// the heap. Every layer in this package implements it; the interface
+// exists so Network.execRange can dispatch without knowing concrete
+// types, and so out-of-tree layers without arena support still work (the
+// executor falls back to Forward for them).
+//
+// The contract mirrors Forward exactly — same output values, bit for
+// bit — with arena semantics layered on top: the returned tensor is
+// valid only until the arena's next Reset, and the layer may not retain
+// it or the inputs. Callers are responsible for the arena's single-owner
+// discipline (see tensor.Arena).
+type ArenaLayer interface {
+	Layer
+	// ForwardArena is Forward with all allocations redirected to a.
+	ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor
+}
+
+// outTensor allocates a zero-filled output tensor from the arena when
+// one is supplied (the injection hot path) or from the heap when a is
+// nil (the plain Forward path). Layer kernels rely on the zero fill:
+// they accumulate into the output or write only selected elements.
+func outTensor(a *tensor.Arena, shape ...int) *tensor.Tensor {
+	if a != nil {
+		return a.Get(shape...)
+	}
+	return tensor.New(shape...)
+}
+
 // WeightLayer is a layer whose static parameters are part of the fault
 // population (convolutions and fully-connected layers in the paper).
 type WeightLayer interface {
@@ -59,8 +88,17 @@ func (r *ReLU) Name() string { return r.Label }
 
 // Forward applies the rectifier.
 func (r *ReLU) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return r.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (r *ReLU) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return r.forward(a, inputs...)
+}
+
+func (r *ReLU) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
-	out := tensor.New(x.Shape...)
+	out := outTensor(a, x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
@@ -77,8 +115,17 @@ func (r *ReLU6) Name() string { return r.Label }
 
 // Forward applies the clipped rectifier.
 func (r *ReLU6) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return r.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (r *ReLU6) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return r.forward(a, inputs...)
+}
+
+func (r *ReLU6) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
-	out := tensor.New(x.Shape...)
+	out := outTensor(a, x.Shape...)
 	for i, v := range x.Data {
 		switch {
 		case v <= 0:
@@ -99,11 +146,20 @@ func (a *Add) Name() string { return a.Label }
 
 // Forward returns inputs[0] + inputs[1]. It panics on shape mismatch.
 func (a *Add) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return a.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (a *Add) ForwardArena(ar *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return a.forward(ar, inputs...)
+}
+
+func (a *Add) forward(ar *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x, y := inputs[0], inputs[1]
 	if !tensor.SameShape(x, y) {
 		panic(fmt.Sprintf("nn: Add shape mismatch %v vs %v", x.Shape, y.Shape))
 	}
-	out := tensor.New(x.Shape...)
+	out := outTensor(ar, x.Shape...)
 	for i := range x.Data {
 		out.Data[i] = x.Data[i] + y.Data[i]
 	}
@@ -119,9 +175,18 @@ func (g *GlobalAvgPool) Name() string { return g.Label }
 
 // Forward averages over the spatial dimensions.
 func (g *GlobalAvgPool) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return g.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (g *GlobalAvgPool) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return g.forward(a, inputs...)
+}
+
+func (g *GlobalAvgPool) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
-	out := tensor.New(c)
+	out := outTensor(a, c)
 	area := float32(h * w)
 	for ci := 0; ci < c; ci++ {
 		var sum float32
@@ -146,11 +211,20 @@ func (p *AvgPool2D) Name() string { return p.Label }
 
 // Forward applies average pooling with implicit valid padding.
 func (p *AvgPool2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return p.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (p *AvgPool2D) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return p.forward(a, inputs...)
+}
+
+func (p *AvgPool2D) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh := (h-p.Kernel)/p.Stride + 1
 	ow := (w-p.Kernel)/p.Stride + 1
-	out := tensor.New(c, oh, ow)
+	out := outTensor(a, c, oh, ow)
 	norm := float32(p.Kernel * p.Kernel)
 	for ci := 0; ci < c; ci++ {
 		for oy := 0; oy < oh; oy++ {
@@ -180,11 +254,20 @@ func (p *MaxPool2D) Name() string { return p.Label }
 
 // Forward applies max pooling with implicit valid padding.
 func (p *MaxPool2D) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return p.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (p *MaxPool2D) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return p.forward(a, inputs...)
+}
+
+func (p *MaxPool2D) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh := (h-p.Kernel)/p.Stride + 1
 	ow := (w-p.Kernel)/p.Stride + 1
-	out := tensor.New(c, oh, ow)
+	out := outTensor(a, c, oh, ow)
 	for ci := 0; ci < c; ci++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -211,8 +294,17 @@ func (f *Flatten) Name() string { return f.Label }
 
 // Forward returns a rank-1 view-copy of the input.
 func (f *Flatten) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return f.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (f *Flatten) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return f.forward(a, inputs...)
+}
+
+func (f *Flatten) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
-	out := tensor.New(x.Len())
+	out := outTensor(a, x.Len())
 	copy(out.Data, x.Data)
 	return out
 }
@@ -234,11 +326,20 @@ func (s *ShortcutA) Name() string { return s.Label }
 
 // Forward subsamples spatially and zero-pads channels.
 func (s *ShortcutA) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	return s.forward(nil, inputs...)
+}
+
+// ForwardArena implements ArenaLayer.
+func (s *ShortcutA) ForwardArena(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
+	return s.forward(a, inputs...)
+}
+
+func (s *ShortcutA) forward(a *tensor.Arena, inputs ...*tensor.Tensor) *tensor.Tensor {
 	x := inputs[0]
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh := (h + s.Stride - 1) / s.Stride
 	ow := (w + s.Stride - 1) / s.Stride
-	out := tensor.New(s.OutC, oh, ow)
+	out := outTensor(a, s.OutC, oh, ow)
 	for ci := 0; ci < c && ci < s.OutC; ci++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {

@@ -28,6 +28,15 @@ type Network struct {
 	Nodes []Node
 
 	weightNodes []int // node indices of WeightLayers, in graph order
+
+	// scratch is the network's private arena for ExecFromScratch, created
+	// lazily and never shared: Clone always hands out a clone with a nil
+	// arena, so each worker's network grows its own. The concurrency-safe
+	// Exec/ExecFrom paths never touch it.
+	scratch *tensor.Arena
+	// insScratch is the reusable layer-input buffer of the arena execution
+	// path. Same ownership rule as scratch: single-owner only.
+	insScratch []*tensor.Tensor
 }
 
 // NewNetwork creates an empty network with the given name.
@@ -91,7 +100,9 @@ func (n *Network) TotalWeights() int {
 // batch normalization) are shared read-only. Lazily folded state
 // (BatchNorm2D's scale/shift) is folded eagerly first, so the shared
 // layers are never written after cloning — Forward on the original and
-// any number of clones may then run concurrently. It panics if a weight
+// any number of clones may then run concurrently. The clone starts with
+// no scratch arena: each owner's ExecFromScratch grows its own, so
+// arena state is never shared between clones. It panics if a weight
 // layer does not implement WeightCloner.
 func (n *Network) Clone() *Network {
 	c := &Network{NetName: n.NetName}
@@ -112,6 +123,18 @@ func (n *Network) Clone() *Network {
 	return c
 }
 
+// ScratchArena returns the network's private scratch arena, creating it
+// on first use. The arena (and therefore ExecFromScratch) may only be
+// used by the network's single owner; evaluators that share a network
+// across goroutines must stay on Exec/ExecFrom. See tensor.Arena for the
+// invalidation rules.
+func (n *Network) ScratchArena() *tensor.Arena {
+	if n.scratch == nil {
+		n.scratch = tensor.NewArena()
+	}
+	return n.scratch
+}
+
 // Forward runs the whole network on one CHW input and returns the output
 // scores.
 func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -124,7 +147,7 @@ func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
 // as a prefix cache for ExecFrom.
 func (n *Network) Exec(x *tensor.Tensor) []*tensor.Tensor {
 	outs := make([]*tensor.Tensor, len(n.Nodes))
-	n.execRange(x, outs, 0)
+	n.execRange(x, outs, 0, nil)
 	return outs
 }
 
@@ -143,19 +166,59 @@ func (n *Network) ExecFrom(x *tensor.Tensor, cache []*tensor.Tensor, from int) *
 	if from < 0 {
 		from = 0
 	}
-	n.execRange(x, cache, from)
+	n.execRange(x, cache, from, nil)
 	return cache[len(cache)-1]
 }
 
-func (n *Network) execRange(x *tensor.Tensor, outs []*tensor.Tensor, from int) {
+// ExecFromScratch is ExecFrom with every recomputed node output (and any
+// layer-internal workspace) drawn from the network's scratch arena
+// instead of the heap. After a warm-up pass per distinct input shape the
+// call performs zero heap allocations — this is the fault injection hot
+// path, where the same suffix of the graph runs once per experiment.
+//
+// The arena is Reset on entry, so tensors written into cache by a
+// previous ExecFromScratch call are invalid the moment the next call
+// starts: callers must re-copy their golden prefix into cache before
+// every call (the injector does) and must not retain entries at indices
+// ≥ from across calls. Single-owner only — see ScratchArena.
+func (n *Network) ExecFromScratch(x *tensor.Tensor, cache []*tensor.Tensor, from int) *tensor.Tensor {
+	if len(cache) != len(n.Nodes) {
+		panic(fmt.Sprintf("nn: cache length %d does not match %d nodes", len(cache), len(n.Nodes)))
+	}
+	if from < 0 {
+		from = 0
+	}
+	a := n.ScratchArena()
+	a.Reset()
+	n.execRange(x, cache, from, a)
+	return cache[len(cache)-1]
+}
+
+func (n *Network) execRange(x *tensor.Tensor, outs []*tensor.Tensor, from int, a *tensor.Arena) {
 	for i := from; i < len(n.Nodes); i++ {
-		node := n.Nodes[i]
-		ins := make([]*tensor.Tensor, len(node.Inputs))
+		node := &n.Nodes[i]
+		var ins []*tensor.Tensor
+		if a != nil {
+			// Arena path: single-owner by contract, so the input buffer
+			// can be reused across nodes (and calls) without allocating.
+			if cap(n.insScratch) < len(node.Inputs) {
+				n.insScratch = make([]*tensor.Tensor, len(node.Inputs))
+			}
+			ins = n.insScratch[:len(node.Inputs)]
+		} else {
+			ins = make([]*tensor.Tensor, len(node.Inputs))
+		}
 		for j, src := range node.Inputs {
 			if src == InputID {
 				ins[j] = x
 			} else {
 				ins[j] = outs[src]
+			}
+		}
+		if a != nil {
+			if al, ok := node.Layer.(ArenaLayer); ok {
+				outs[i] = al.ForwardArena(a, ins...)
+				continue
 			}
 		}
 		outs[i] = node.Layer.Forward(ins...)

@@ -38,6 +38,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"cnnsfi/internal/evalstats"
 	"cnnsfi/internal/faultmodel"
 	"cnnsfi/internal/fp"
 	"cnnsfi/internal/nn"
@@ -104,6 +105,10 @@ type Oracle struct {
 	// a pure function of the snapshot and the seed), which the parallel
 	// campaign runner relies on.
 	Evaluations int64
+
+	// skipped/evaluated back EvalStats: how many verdicts came from the
+	// masked-fault short-circuit vs the full perturbation model.
+	skipped, evaluated int64
 }
 
 // New snapshots the network's weights and builds the oracle over its
@@ -166,15 +171,60 @@ func (o *Oracle) CriticalProbability(f faultmodel.Fault) float64 {
 	return o.pmax[f.Layer] / (1 + math.Pow(o.cfg.Tau/rel, o.cfg.Alpha))
 }
 
+// Masked reports whether f is a stuck-at fault whose target bit already
+// holds the stuck value in the oracle's weight snapshot. Such faults
+// leave the weight bit-identical, so CriticalProbability is 0 by
+// construction and the verdict is Non-critical without evaluating the
+// perturbation model — the oracle-side mirror of the injector's
+// masked-fault short-circuit. BitFlip is never masked.
+func (o *Oracle) Masked(f faultmodel.Fault) bool {
+	switch f.Model {
+	case faultmodel.StuckAt0:
+		return !fp.Bit32(o.weights[f.Layer][f.Param], f.Bit)
+	case faultmodel.StuckAt1:
+		return fp.Bit32(o.weights[f.Layer][f.Param], f.Bit)
+	default:
+		return false
+	}
+}
+
 // IsCritical returns the fixed ground-truth verdict for the fault. It
-// is safe for concurrent use.
+// is safe for concurrent use. Masked faults short-circuit to false —
+// exactly the verdict the full model produces for them (a bit-identical
+// weight has CriticalProbability 0), as the differential tests pin.
 func (o *Oracle) IsCritical(f faultmodel.Fault) bool {
 	atomic.AddInt64(&o.Evaluations, 1)
+	if o.Masked(f) {
+		atomic.AddInt64(&o.skipped, 1)
+		return false
+	}
+	atomic.AddInt64(&o.evaluated, 1)
+	return o.verdict(f)
+}
+
+// IsCriticalReference is IsCritical without the masked-fault
+// short-circuit: the full perturbation-magnitude path for every fault.
+// It exists as the reference side of the differential test harness and
+// does not update any counter.
+func (o *Oracle) IsCriticalReference(f faultmodel.Fault) bool {
+	return o.verdict(f)
+}
+
+func (o *Oracle) verdict(f faultmodel.Fault) bool {
 	p := o.CriticalProbability(f)
 	if p <= 0 {
 		return false
 	}
 	return hashUnit(o.cfg.Seed, f) < p
+}
+
+// EvalStats implements core.StatsReporter. The oracle has no arena and
+// no early exits; only the skip/evaluate split is populated.
+func (o *Oracle) EvalStats() evalstats.EvalStats {
+	return evalstats.EvalStats{
+		Skipped:   atomic.LoadInt64(&o.skipped),
+		Evaluated: atomic.LoadInt64(&o.evaluated),
+	}
 }
 
 // ExhaustiveLayerRate enumerates every fault in layer l and returns the

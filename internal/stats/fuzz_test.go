@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the Eq. 1 / Eq. 3 sample-size machinery. Run over
+// the seed corpus by plain `go test`; explored further by the CI fuzz
+// smoke stage (`go test -fuzz=FuzzSampleSize -fuzztime=30s`).
+
+// FuzzSampleSize checks the structural invariants of Eq. 1 for
+// arbitrary configurations: the sample size always lands in [1, N] for
+// a nonempty population, shrinks (weakly) as the requested margin
+// grows, and under RoundCeil the achieved margin never exceeds the
+// requested one — the property that makes the conservative rounding
+// mode conservative.
+func FuzzSampleSize(f *testing.F) {
+	f.Add(0.01, 0.99, 0.5, int64(17215926))  // ResNet-20, Table I
+	f.Add(0.01, 0.99, 0.5, int64(141513952)) // MobileNetV2, Table I
+	f.Add(0.05, 0.95, 0.5, int64(1))
+	f.Add(0.001, 0.999, 0.0001, int64(1<<40))
+	f.Add(0.9999, 0.5, 0.9999, int64(2))
+	f.Add(math.NaN(), 0.99, 0.5, int64(100)) // must be rejected, not mis-sized
+	f.Fuzz(func(t *testing.T, e, conf, p float64, N int64) {
+		cfg := SampleSizeConfig{ErrorMargin: e, Confidence: conf, P: p}
+		if err := cfg.Validate(); err != nil {
+			// Invalid configurations must be rejected deterministically —
+			// NaN/Inf parameters included — and SampleSize must refuse
+			// them by panicking rather than returning a bogus count.
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SampleSize accepted invalid config %+v", cfg)
+				}
+			}()
+			cfg.SampleSize(1000)
+			return
+		}
+		if N < 0 || N > 1<<50 {
+			t.Skip() // negative populations panic by contract; huge ones lose float precision
+		}
+
+		n := cfg.SampleSize(N)
+		if n < 0 || n > N {
+			t.Fatalf("SampleSize(%d) = %d outside [0, N] for %+v", N, n, cfg)
+		}
+		if N > 0 && n < 1 {
+			t.Fatalf("SampleSize(%d) = %d; nonempty population needs at least one injection", N, n)
+		}
+
+		// Weak monotonicity in the margin: doubling e never increases n.
+		if e2 := 2 * e; e2 < 1 {
+			cfg2 := cfg
+			cfg2.ErrorMargin = e2
+			if n2 := cfg2.SampleSize(N); n2 > n {
+				t.Errorf("n grew from %d to %d when margin relaxed %v -> %v", n, n2, e, e2)
+			}
+		}
+
+		// RoundCeil: the achieved margin must meet the request (up to
+		// float round-off), or the sample is exhaustive.
+		ceil := cfg
+		ceil.Rounding = RoundCeil
+		nc := ceil.SampleSize(N)
+		if nc < n {
+			t.Errorf("RoundCeil n=%d below RoundNearest n=%d", nc, n)
+		}
+		if nc > 0 {
+			if got := ceil.AchievedMargin(nc, N); got > e*(1+1e-9)+1e-12 {
+				t.Errorf("RoundCeil achieved margin %v exceeds requested %v (n=%d, N=%d, %+v)",
+					got, e, nc, N, cfg)
+			}
+		}
+	})
+}
+
+// FuzzAchievedMargin checks the Eq. 3 inversion: margins are finite,
+// non-negative, zero for exhaustive samples, and weakly decreasing in
+// the sample size.
+func FuzzAchievedMargin(f *testing.F) {
+	f.Add(0.01, 0.99, 0.5, int64(2100), int64(17215926))
+	f.Add(0.01, 0.99, 0.5, int64(1), int64(2))
+	f.Add(0.05, 0.95, 0.0001, int64(50), int64(100))
+	f.Fuzz(func(t *testing.T, e, conf, p float64, n, N int64) {
+		cfg := SampleSizeConfig{ErrorMargin: e, Confidence: conf, P: p}
+		if cfg.Validate() != nil || n <= 0 || N < 0 || N > 1<<50 {
+			t.Skip()
+		}
+		m := cfg.AchievedMargin(n, N)
+		if math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+			t.Fatalf("AchievedMargin(%d, %d) = %v for %+v", n, N, m, cfg)
+		}
+		if n >= N && m != 0 {
+			t.Fatalf("exhaustive sample (n=%d >= N=%d) has margin %v, want 0", n, N, m)
+		}
+		if n+1 <= N {
+			if m2 := cfg.AchievedMargin(n+1, N); m2 > m*(1+1e-12) {
+				t.Errorf("margin grew from %v to %v as n went %d -> %d", m, m2, n, n+1)
+			}
+		}
+	})
+}
+
+// FuzzWilsonInterval checks that the Wilson bounds always form a valid
+// sub-interval of [0, 1] containing the observed proportion.
+func FuzzWilsonInterval(f *testing.F) {
+	f.Add(0.99, int64(0), int64(100), int64(1000))
+	f.Add(0.99, int64(100), int64(100), int64(1000))
+	f.Add(0.95, int64(3), int64(7), int64(7))
+	f.Fuzz(func(t *testing.T, conf float64, successes, n, N int64) {
+		cfg := SampleSizeConfig{ErrorMargin: 0.01, Confidence: conf, P: 0.5}
+		if cfg.Validate() != nil || n <= 0 || n > 1<<40 || successes < 0 || successes > n {
+			t.Skip()
+		}
+		lo, hi := cfg.WilsonInterval(successes, n, N)
+		if !(lo >= 0 && hi <= 1 && lo <= hi) {
+			t.Fatalf("WilsonInterval(%d, %d, %d) = [%v, %v] invalid", successes, n, N, lo, hi)
+		}
+		pHat := float64(successes) / float64(n)
+		if pHat < lo-1e-12 || pHat > hi+1e-12 {
+			t.Fatalf("interval [%v, %v] excludes observed proportion %v", lo, hi, pHat)
+		}
+	})
+}

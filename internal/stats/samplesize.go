@@ -73,14 +73,17 @@ func (c SampleSizeConfig) Z() float64 {
 }
 
 // Validate reports whether the configuration parameters are usable.
+// The comparisons are phrased positively so that NaN (which fails every
+// ordering) is rejected rather than slipping through an
+// outside-the-range test.
 func (c SampleSizeConfig) Validate() error {
-	if c.ErrorMargin <= 0 || c.ErrorMargin >= 1 {
+	if !(c.ErrorMargin > 0 && c.ErrorMargin < 1) {
 		return fmt.Errorf("stats: error margin %v outside (0,1)", c.ErrorMargin)
 	}
-	if c.Confidence <= 0 || c.Confidence >= 1 {
+	if !(c.Confidence > 0 && c.Confidence < 1) {
 		return fmt.Errorf("stats: confidence %v outside (0,1)", c.Confidence)
 	}
-	if c.P <= 0 || c.P >= 1 {
+	if !(c.P > 0 && c.P < 1) {
 		return fmt.Errorf("stats: p %v outside (0,1)", c.P)
 	}
 	return nil

@@ -1,0 +1,108 @@
+package tensor
+
+// Arena is a bump allocator for scratch tensors, built for the fault
+// injection hot path where the same inference shape is executed once per
+// experiment for millions of experiments. Instead of allocating fresh
+// output tensors per node per image per fault (and leaning on the GC to
+// reclaim them), an evaluator owns one Arena, calls Reset at the start
+// of each inference, and draws every intermediate tensor from it. After
+// the first few inferences the arena reaches a fixed point and the
+// steady state performs zero heap allocations.
+//
+// Slot discipline: Get returns slots in call order, so a caller that
+// performs the same sequence of Get calls between Resets (the case for a
+// fixed network graph) gets the same backing buffers every time. A
+// returned *Tensor — header and data — is valid only until the next
+// Reset; the arena re-issues the same storage afterwards. Callers that
+// need a value to survive a Reset must Clone it first.
+//
+// An Arena is NOT safe for concurrent use. The ownership rule for this
+// repo: one arena per Network, used only by the network's single owner
+// (a worker's injector clone). Evaluators that share one Network across
+// goroutines must stay on the heap-allocating Exec/ExecFrom path.
+type Arena struct {
+	slots []*arenaSlot
+	next  int
+	bytes int64
+}
+
+// arenaSlot holds one reusable tensor. Slots are heap-allocated
+// individually (the slice holds pointers) so the Tensor headers handed
+// out by Get keep stable addresses when the slot list grows.
+type arenaSlot struct {
+	t     Tensor
+	buf   []float32
+	shape []int
+}
+
+// NewArena returns an empty arena. It allocates nothing until first use.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset makes every slot available again without releasing its storage.
+// All tensors and scratch slices returned since the previous Reset are
+// invalidated: their backing arrays will be re-issued (zeroed) by
+// subsequent Get/Scratch calls.
+func (a *Arena) Reset() { a.next = 0 }
+
+// Get returns a zero-filled tensor of the given shape backed by arena
+// storage, growing the arena on first use or when a slot's buffer is too
+// small. The zero fill matters: layer kernels in internal/nn accumulate
+// into their output (`out[i] += ...`) or write only selected elements,
+// exactly as they may with a fresh tensor.New.
+func (a *Arena) Get(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: arena Get with non-positive dimension")
+		}
+		n *= d
+	}
+	s := a.slot()
+	data := a.take(s, n)
+	s.shape = append(s.shape[:0], shape...)
+	s.t = Tensor{Shape: s.shape, Data: data}
+	return &s.t
+}
+
+// Scratch returns a zero-filled []float32 of length n from the arena,
+// for raw workspace buffers (e.g. the im2col patch matrix) that need no
+// tensor header. Like Get, the slice is valid only until the next Reset.
+func (a *Arena) Scratch(n int) []float32 {
+	if n < 0 {
+		panic("tensor: arena Scratch with negative length")
+	}
+	return a.take(a.slot(), n)
+}
+
+// slot returns the next slot in issue order, appending a new one when
+// the arena has not yet seen this many allocations in one cycle.
+func (a *Arena) slot() *arenaSlot {
+	if a.next == len(a.slots) {
+		a.slots = append(a.slots, &arenaSlot{})
+	}
+	s := a.slots[a.next]
+	a.next++
+	return s
+}
+
+// take sizes the slot's buffer to n elements, accounting growth in
+// Bytes, and returns it zeroed.
+func (a *Arena) take(s *arenaSlot, n int) []float32 {
+	if cap(s.buf) < n {
+		a.bytes += int64(n-cap(s.buf)) * 4
+		s.buf = make([]float32, n)
+	}
+	data := s.buf[:n]
+	clear(data)
+	return data
+}
+
+// Bytes reports the total float32 storage retained by the arena, in
+// bytes. It grows monotonically and is a measure of the steady-state
+// memory cost of one worker's scratch space (headers and shape slices
+// are excluded; they are a few dozen bytes per slot).
+func (a *Arena) Bytes() int64 { return a.bytes }
+
+// Slots reports how many distinct tensors/scratch buffers the arena has
+// handed out in its widest cycle so far.
+func (a *Arena) Slots() int { return len(a.slots) }

@@ -1,0 +1,119 @@
+package tensor
+
+import "testing"
+
+func TestArenaGetZeroedAndShaped(t *testing.T) {
+	a := NewArena()
+	x := a.Get(2, 3)
+	if len(x.Data) != 6 || len(x.Shape) != 2 || x.Shape[0] != 2 || x.Shape[1] != 3 {
+		t.Fatalf("Get(2,3) = shape %v len %d", x.Shape, len(x.Data))
+	}
+	for i := range x.Data {
+		x.Data[i] = float32(i + 1)
+	}
+	a.Reset()
+	y := a.Get(2, 3)
+	for i, v := range y.Data {
+		if v != 0 {
+			t.Fatalf("reused slot not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestArenaSlotReuseAcrossResets(t *testing.T) {
+	a := NewArena()
+	first := a.Get(4)
+	firstData := &first.Data[0]
+	a.Reset()
+	second := a.Get(4)
+	if first != second {
+		t.Fatalf("same-order Get after Reset returned a different header")
+	}
+	if &second.Data[0] != firstData {
+		t.Fatalf("same-order Get after Reset returned different storage")
+	}
+	if a.Slots() != 1 {
+		t.Fatalf("Slots = %d, want 1", a.Slots())
+	}
+}
+
+func TestArenaHeaderStableAcrossGrowth(t *testing.T) {
+	a := NewArena()
+	first := a.Get(2)
+	// Force the slot slice to grow many times; the first header must not
+	// move (callers hold *Tensor across subsequent Gets within a cycle).
+	for i := 0; i < 100; i++ {
+		a.Get(2)
+	}
+	first.Data[0] = 42
+	a.Reset()
+	if got := a.Get(2); got != first {
+		t.Fatalf("header moved after slot growth")
+	}
+}
+
+func TestArenaGrowsBufferAndBytes(t *testing.T) {
+	a := NewArena()
+	a.Get(10)
+	if a.Bytes() != 40 {
+		t.Fatalf("Bytes = %d, want 40", a.Bytes())
+	}
+	a.Reset()
+	a.Get(20) // same slot, larger buffer: grows by 10 floats
+	if a.Bytes() != 80 {
+		t.Fatalf("Bytes after growth = %d, want 80", a.Bytes())
+	}
+	a.Reset()
+	x := a.Get(5) // shrink reuses the larger buffer
+	if a.Bytes() != 80 {
+		t.Fatalf("Bytes after shrink = %d, want 80", a.Bytes())
+	}
+	if len(x.Data) != 5 {
+		t.Fatalf("len = %d, want 5", len(x.Data))
+	}
+}
+
+func TestArenaScratch(t *testing.T) {
+	a := NewArena()
+	s := a.Scratch(7)
+	if len(s) != 7 {
+		t.Fatalf("Scratch len = %d", len(s))
+	}
+	for i := range s {
+		s[i] = 1
+	}
+	a.Reset()
+	s2 := a.Scratch(7)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("Scratch not zeroed at %d", i)
+		}
+	}
+	if a.Scratch(0) == nil {
+		// zero-length scratch is legal and returns an empty slice
+	}
+}
+
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	a := NewArena()
+	warm := func() {
+		a.Reset()
+		a.Get(3, 3)
+		a.Get(9)
+		a.Scratch(12)
+	}
+	warm() // grow
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestArenaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Get with zero dimension did not panic")
+		}
+	}()
+	NewArena().Get(2, 0)
+}

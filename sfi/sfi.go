@@ -136,6 +136,16 @@ type (
 	Progress = core.Progress
 	// ProgressSink consumes streaming Progress events.
 	ProgressSink = core.ProgressSink
+	// EvalStats breaks down how an evaluator resolved a campaign's
+	// experiments: masked-fault skips (classified Non-critical with no
+	// inference), full evaluations, SDC early exits, and the scratch
+	// arena bytes retained by the allocation-free hot path. Surfaced
+	// per campaign in Progress.Eval and cumulatively via the
+	// StatsReporter interface.
+	EvalStats = core.EvalStats
+	// StatsReporter is implemented by evaluators that track EvalStats
+	// (both the inference Injector and the Oracle do).
+	StatsReporter = core.StatsReporter
 )
 
 // The four SFI approaches, in the paper's order.
