@@ -8,6 +8,8 @@
 #   make bench   the serial-vs-parallel runner benchmarks
 #   make fuzz-smoke  run every fuzz target for a short budget (the CI
 #                fuzz stage; seed corpora live in testdata/fuzz/)
+#   make trace-smoke  record a tiny traced campaign, replay it with
+#                sfitrace, and diff the summary against its golden
 #   make verify  what CI would run: build + vet + test
 #
 # Override GO to pin a toolchain: `make test GO=go1.22`.
@@ -15,7 +17,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench fuzz-smoke verify
+.PHONY: build test race vet bench fuzz-smoke trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -24,7 +26,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/inject/ ./internal/nn/ ./sfi/
+	$(GO) test -race ./internal/core/ ./internal/inject/ ./internal/nn/ ./internal/telemetry/ ./sfi/
 
 vet:
 	$(GO) vet ./...
@@ -41,5 +43,18 @@ fuzz-smoke:
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
 		done; \
 	done
+
+# End-to-end trace smoke: record the Table III smallcnn campaigns with
+# -trace at a single worker, replay the JSONL with sfitrace, and diff
+# the timing-stripped summary against the checked-in golden. Stripped
+# output is a pure function of (plan, seed, workers), so any drift means
+# the trace schema or the engine's event stream changed.
+trace-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/sfirun -model smallcnn -substrate oracle -margin 0.05 \
+		-workers 1 -table3 -trace "$$tmp/run.jsonl" >/dev/null; \
+	$(GO) run ./cmd/sfitrace -in "$$tmp/run.jsonl" -strip-timing \
+		| diff -u cmd/sfitrace/testdata/trace_smoke.golden -; \
+	echo "trace-smoke: OK"
 
 verify: build vet test

@@ -18,6 +18,8 @@
 //	BenchmarkParallel_*                   serial vs shard-parallel runner
 //	                                      (both evaluator families)
 //	BenchmarkEngine_Overhead              engine vs legacy wrapper cost
+//	BenchmarkEngine_Telemetry{Off,On}     the cost of full tracing vs
+//	                                      the disabled-seam baseline
 //
 // Key quantities are attached as custom benchmark metrics
 // (injections/op, avg_margin_pct, …), so `go test -bench=.` both
@@ -27,6 +29,7 @@ package cnnsfi_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -36,6 +39,7 @@ import (
 	"cnnsfi/internal/inject"
 	"cnnsfi/internal/quantize"
 	"cnnsfi/internal/stats"
+	"cnnsfi/internal/telemetry"
 	"cnnsfi/sfi"
 )
 
@@ -665,6 +669,52 @@ func BenchmarkEngine_Overhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEngine_TelemetryOff prices the engine with every telemetry
+// seam left nil — the baseline the telemetry layer must not move. Pair
+// with BenchmarkEngine_TelemetryOn: the Off/On ns/op ratio is the whole
+// cost of full tracing (JSONL trace + progress + per-experiment latency
+// histogram), and Off must match BenchmarkEngine_Overhead's
+// engine/serial case exactly, since a disabled seam is just a nil check.
+func BenchmarkEngine_TelemetryOff(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	plan := sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sfi.NewEngine(sfi.WithWorkers(1)).Execute(ctx, o, plan, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine_TelemetryOn runs the identical campaign with the full
+// telemetry stack attached: a Tracer recording JSONL to io.Discard,
+// progress streaming through the same tracer, and the experiment
+// latency histogram on the oracle's verdict path.
+func BenchmarkEngine_TelemetryOn(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	plan := sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig())
+	var hist sfi.LatencyHistogram
+	o.SetLatencyHistogram(&hist)
+	defer o.SetLatencyHistogram(nil) // the fixture is shared across benchmarks
+	tr := telemetry.NewTracer(io.Discard, 1024)
+	defer tr.Close()
+	sink, prog := tr.Sink("bench"), tr.Progress("bench")
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sfi.NewEngine(
+			sfi.WithWorkers(1),
+			sfi.WithTrace(sink),
+			sfi.WithProgress(prog),
+			sfi.WithProgressInterval(8192),
+		)
+		if _, err := eng.Execute(ctx, o, plan, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblation_PerLayerDataAware compares the paper's network-wide

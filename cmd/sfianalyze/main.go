@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cnnsfi/internal/fp"
@@ -22,15 +24,25 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
-	seed := flag.Int64("seed", 1, "weight-generation seed")
-	format := flag.String("format", "fp32", "representation: fp32, fp16, bf16")
-	fig1 := flag.Bool("fig1", false, "print the p·(1−p) curve")
-	fig2 := flag.Bool("fig2", false, "print a bit-flip distance example")
-	fig3 := flag.Bool("fig3", false, "print per-bit f0/f1 counts")
-	fig4 := flag.Bool("fig4", false, "print the derived p(i)")
-	bars := flag.Bool("bars", false, "also render ASCII bars")
-	flag.Parse()
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind main, parameterised for testing. Bad
+// input yields one actionable line on stderr and exit code 1.
+func run(_ context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfianalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
+	seed := fs.Int64("seed", 1, "weight-generation seed")
+	format := fs.String("format", "fp32", "representation: fp32, fp16, bf16, int8")
+	fig1 := fs.Bool("fig1", false, "print the p·(1−p) curve")
+	fig2 := fs.Bool("fig2", false, "print a bit-flip distance example")
+	fig3 := fs.Bool("fig3", false, "print per-bit f0/f1 counts")
+	fig4 := fs.Bool("fig4", false, "print the derived p(i)")
+	bars := fs.Bool("bars", false, "also render ASCII bars")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if !*fig1 && !*fig2 && !*fig3 && !*fig4 {
 		*fig3, *fig4 = true, true // the paper's headline analysis
@@ -48,57 +60,57 @@ func main() {
 	case "int8":
 		int8Mode = true
 	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q (want fp32, fp16, bf16, or int8)\n", *format)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sfianalyze: unknown format %q (want fp32, fp16, bf16, or int8)\n", *format)
+		return 1
 	}
 
 	if *fig1 {
-		fmt.Println("# Fig. 1 (left): Bernoulli variance p·(1-p)")
-		csv := report.NewCSV(os.Stdout, "p", "p_times_1_minus_p")
+		fmt.Fprintln(stdout, "# Fig. 1 (left): Bernoulli variance p·(1-p)")
+		csv := report.NewCSV(stdout, "p", "p_times_1_minus_p")
 		for p := 0.0; p <= 1.0001; p += 0.05 {
 			csv.Row(p, stats.BernoulliVariance(p))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig2 {
-		fmt.Println("# Fig. 2: bit-flip distance example (bit 28 on a typical weight)")
+		fmt.Fprintln(stdout, "# Fig. 2: bit-flip distance example (bit 28 on a typical weight)")
 		w := float32(0.0417)
-		csv := report.NewCSV(os.Stdout, "bit", "golden", "faulty", "distance")
+		csv := report.NewCSV(stdout, "bit", "golden", "faulty", "distance")
 		for _, bit := range []int{0, 10, 22, 23, 28, 30, 31} {
 			faulty := fp.FlipBit32(w, bit)
 			csv.Row(bit, w, faulty, fp.FlipDistance32(w, bit))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	net, err := sfi.BuildModel(*model, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sfianalyze: %v\n", err)
+		return 1
 	}
 
 	if int8Mode {
 		a := sfi.AnalyzeWeightsINT8(net.AllWeights())
-		fmt.Printf("# INT8 data-aware analysis of %s (%d weights, Δ = %g)\n",
+		fmt.Fprintf(stdout, "# INT8 data-aware analysis of %s (%d weights, Δ = %g)\n",
 			net.NetName, a.Count, a.Scheme.Delta)
-		csv := report.NewCSV(os.Stdout, "bit", "f0", "f1", "davg", "p")
+		csv := report.NewCSV(stdout, "bit", "f0", "f1", "davg", "p")
 		for i := 7; i >= 0; i-- {
 			csv.Row(i, a.F0[i], a.F1[i], a.Davg[i], a.P[i])
 		}
-		return
+		return 0
 	}
 
 	analysis := sfi.AnalyzeWeightsIn(net.AllWeights(), f)
 
 	if *fig3 {
-		fmt.Printf("# Fig. 3: bit value frequencies over %s weights (%s, %d weights)\n",
+		fmt.Fprintf(stdout, "# Fig. 3: bit value frequencies over %s weights (%s, %d weights)\n",
 			net.NetName, f.Name, analysis.Count)
-		csv := report.NewCSV(os.Stdout, "bit", "role", "f0_count", "f1_count")
+		csv := report.NewCSV(stdout, "bit", "role", "f0_count", "f1_count")
 		for i := f.Bits - 1; i >= 0; i-- {
 			csv.Row(i, f.RoleOf(i).String(), analysis.CountF0(i), analysis.CountF1(i))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		if *bars {
 			labels := make([]string, f.Bits)
 			vals := make([]float64, f.Bits)
@@ -106,18 +118,18 @@ func main() {
 				labels[i] = fmt.Sprintf("bit %2d f1", f.Bits-1-i)
 				vals[i] = analysis.F1[f.Bits-1-i]
 			}
-			report.Bars(os.Stdout, "f1(i) relative frequency", labels, vals, 50)
-			fmt.Println()
+			report.Bars(stdout, "f1(i) relative frequency", labels, vals, 50)
+			fmt.Fprintln(stdout)
 		}
 	}
 
 	if *fig4 {
-		fmt.Printf("# Fig. 4: data-aware p(i) for %s (%s)\n", net.NetName, f.Name)
-		csv := report.NewCSV(os.Stdout, "bit", "role", "davg", "p")
+		fmt.Fprintf(stdout, "# Fig. 4: data-aware p(i) for %s (%s)\n", net.NetName, f.Name)
+		csv := report.NewCSV(stdout, "bit", "role", "davg", "p")
 		for i := f.Bits - 1; i >= 0; i-- {
 			csv.Row(i, f.RoleOf(i).String(), analysis.Davg[i], analysis.P[i])
 		}
-		fmt.Printf("# most critical bit: %d\n", analysis.MostCriticalBit())
+		fmt.Fprintf(stdout, "# most critical bit: %d\n", analysis.MostCriticalBit())
 		if *bars {
 			labels := make([]string, f.Bits)
 			vals := make([]float64, f.Bits)
@@ -125,7 +137,8 @@ func main() {
 				labels[i] = fmt.Sprintf("bit %2d", f.Bits-1-i)
 				vals[i] = analysis.P[f.Bits-1-i]
 			}
-			report.Bars(os.Stdout, "p(i)", labels, vals, 50)
+			report.Bars(stdout, "p(i)", labels, vals, 50)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestCLIFlagValidation pins the one-line actionable error for rejected
+// input: exit code 1, a single "sfianalyze: ..." line on stderr, nothing
+// after any partial stdout.
+func TestCLIFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown_format", []string{"-format", "fp8"}},
+		{"unknown_model", []string{"-model", "nosuch"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+			}
+			if !strings.HasPrefix(stderr, "sfianalyze: ") || strings.Count(stderr, "\n") != 1 {
+				t.Errorf("want a single 'sfianalyze: ...' line, got %q", stderr)
+			}
+			checkGolden(t, "err_"+tc.name+".golden", stderr)
+		})
+	}
+}
+
+func TestCLIBadFlagSyntax(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-seed", "lots")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("stdout not empty: %q", stdout)
+	}
+	if !strings.Contains(stderr, "invalid value") {
+		t.Errorf("stderr missing flag error: %q", stderr)
+	}
+}
+
+// TestCLIAnalysisGolden pins the default (fig3+fig4) analysis of the
+// seeded smallcnn weights — a pure function of (model, seed, format).
+func TestCLIAnalysisGolden(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-model", "smallcnn", "-fig1", "-fig2", "-fig3", "-fig4")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %q)", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("stderr not empty: %q", stderr)
+	}
+	checkGolden(t, "analysis_smallcnn.stdout.golden", stdout)
+}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cnnsfi/internal/report"
@@ -21,37 +23,47 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "result.json", "campaign result file")
-	run := flag.Bool("run", false, "run a fresh data-unaware oracle campaign on -model and save it to -in first")
-	model := flag.String("model", "smallcnn", "model for -run")
-	seed := flag.Int64("seed", 1, "weight seed for -run")
-	oracleSeed := flag.Int64("oracle-seed", 3, "ground-truth seed for -run")
-	fitPerBit := flag.Float64("fit", 0, "raw soft-error rate (FIT/bit); > 0 enables the reliability report")
-	mission := flag.Float64("mission", 50000, "mission duration in hours for the reliability report")
-	topBits := flag.Int("top-bits", 6, "bit-ranking entries to print")
-	flag.Parse()
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *run {
+// run is the whole CLI behind main, parameterised for testing. Bad
+// input yields one actionable line on stderr and exit code 1.
+func run(_ context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfireport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "result.json", "campaign result file")
+	runFresh := fs.Bool("run", false, "run a fresh data-unaware oracle campaign on -model and save it to -in first")
+	model := fs.String("model", "smallcnn", "model for -run")
+	seed := fs.Int64("seed", 1, "weight seed for -run")
+	oracleSeed := fs.Int64("oracle-seed", 3, "ground-truth seed for -run")
+	fitPerBit := fs.Float64("fit", 0, "raw soft-error rate (FIT/bit); > 0 enables the reliability report")
+	mission := fs.Float64("mission", 50000, "mission duration in hours for the reliability report")
+	topBits := fs.Int("top-bits", 6, "bit-ranking entries to print")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *runFresh {
 		if err := runAndSave(*model, *seed, *oracleSeed, *in); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sfireport: %v\n", err)
+			return 1
 		}
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sfireport: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	result, err := sfi.ReadResultJSON(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sfireport: %s: %v\n", *in, err)
+		return 1
 	}
 
 	cfg := result.Plan.Config
-	fmt.Printf("campaign: %s, %s injections over %s faults (e=%.2g%%, confidence %.3g)\n\n",
+	fmt.Fprintf(stdout, "campaign: %s, %s injections over %s faults (e=%.2g%%, confidence %.3g)\n\n",
 		result.Plan.Approach, report.Comma(result.Injections()),
 		report.Comma(result.Plan.Space.Total()), cfg.ErrorMargin*100, cfg.Confidence)
 
@@ -64,8 +76,8 @@ func main() {
 			fmt.Sprintf("%.4f", r.Estimate.Margin(cfg)*100),
 			r.Estimate.SampleSize())
 	}
-	tab.Render(os.Stdout)
-	fmt.Printf("top-2 statistically separated: %v\n\n", sfi.TopSeparated(ranks, cfg))
+	tab.Render(stdout)
+	fmt.Fprintf(stdout, "top-2 statistically separated: %v\n\n", sfi.TopSeparated(ranks, cfg))
 
 	// Bit ranking (bit-granular plans only).
 	if result.Plan.Approach == sfi.DataUnaware || result.Plan.Approach == sfi.DataAware {
@@ -79,27 +91,28 @@ func main() {
 				fmt.Sprintf("%.4f", r.Estimate.PHat()*100),
 				fmt.Sprintf("%.4f", r.Estimate.Margin(cfg)*100))
 		}
-		bt.Render(os.Stdout)
-		fmt.Println()
+		bt.Render(stdout)
+		fmt.Fprintln(stdout)
 
 		if *fitPerBit > 0 {
 			rep, err := sfi.AssessReliability(result, sfi.SERConfig{RawFITPerBit: *fitPerBit})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "sfireport: %v\n", err)
+				return 1
 			}
-			fmt.Printf("SDC rate (unprotected): %.6f FIT over %s cells\n",
+			fmt.Fprintf(stdout, "SDC rate (unprotected): %.6f FIT over %s cells\n",
 				rep.SDCFIT, report.Comma(rep.TotalCells))
 			for k := 0; k <= 2; k++ {
 				p := rep.BestProtection(k)
-				fmt.Printf("  protect %-12v residual %.6f FIT, overhead %s, mission(%gh) R=%.6f\n",
+				fmt.Fprintf(stdout, "  protect %-12v residual %.6f FIT, overhead %s, mission(%gh) R=%.6f\n",
 					p.Bits, rep.ResidualFIT(p), report.Pct(rep.ProtectionOverhead(p)),
 					*mission, sfi.MissionReliability(rep.ResidualFIT(p), *mission))
 			}
 		}
 	} else if *fitPerBit > 0 {
-		fmt.Fprintln(os.Stderr, "reliability report needs a bit-granular campaign (data-unaware or data-aware)")
+		fmt.Fprintln(stderr, "sfireport: reliability report needs a bit-granular campaign (data-unaware or data-aware)")
 	}
+	return 0
 }
 
 func runAndSave(model string, seed, oracleSeed int64, path string) error {

@@ -36,8 +36,10 @@ import (
 	"time"
 
 	"cnnsfi/internal/core"
+	"cnnsfi/internal/evalstats"
 	"cnnsfi/internal/oracle"
 	"cnnsfi/internal/report"
+	"cnnsfi/internal/telemetry"
 	"cnnsfi/sfi"
 )
 
@@ -76,6 +78,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", false, "resume campaigns from existing -checkpoint files")
 	timeout := fs.Duration("timeout", 0, "abort campaigns after this duration (0 = none); with -checkpoint, progress is preserved")
 	earlyStop := fs.Float64("early-stop", -1, "stop each stratum at this achieved margin (0 = the requested -margin; negative = disabled)")
+	traceFile := fs.String("trace", "", "record structured campaign trace events (JSONL) to this file; replay with sfitrace")
+	traceSummary := fs.Bool("trace-summary", false, "after the campaigns finish, replay the -trace file and print a summary to stderr")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on /metrics and profiling on /debug/pprof at this address while campaigns run (e.g. localhost:9090)")
 	if err := fs.Parse(args); err != nil {
 		return 2 // flag package already printed the error + usage
 	}
@@ -108,6 +113,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *replicas <= 0 {
 		return fail("-replicas must be > 0 (got %d)", *replicas)
+	}
+	if *traceSummary && *traceFile == "" {
+		return fail("-trace-summary needs -trace to know which trace to replay")
 	}
 
 	if !*table3 && !*fig5 && !*fig6 && !*fig7 {
@@ -159,6 +167,59 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg.Confidence = *confidence
 	analysis := sfi.AnalyzeWeights(net.AllWeights())
 
+	// Telemetry: the JSONL trace recorder and the metrics endpoint are
+	// both optional and both strictly observational — the campaign
+	// Result is bit-identical with or without them.
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fail("-trace: %v", err)
+		}
+		tracer = telemetry.NewTracer(f, 1024)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(stderr, "sfirun: trace: %v\n", err)
+			}
+			if d := tracer.Dropped(); d > 0 {
+				fmt.Fprintf(stderr, "sfirun: trace: %d events dropped (incomplete trace)\n", d)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "sfirun: trace: %v\n", err)
+			}
+			if *traceSummary {
+				printTraceSummary(stderr, *traceFile)
+			}
+		}()
+	}
+	var rateGauge, doneGauge *telemetry.Gauge
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		rateGauge = reg.Gauge("sfi_injections_per_second", "Campaign throughput over the running Execute call.")
+		doneGauge = reg.Gauge("sfi_injections_done", "Injections tallied by the running campaign.")
+		if sr, ok := ev.(sfi.StatsReporter); ok {
+			reg.CounterFunc("sfi_masked_skips_total", "Experiments classified by the masked-fault short-circuit.",
+				func() int64 { return sr.EvalStats().Skipped })
+			reg.CounterFunc("sfi_evaluated_total", "Experiments that ran the full evaluation path.",
+				func() int64 { return sr.EvalStats().Evaluated })
+			reg.CounterFunc("sfi_early_exits_total", "Evaluated experiments ended by the SDC first-mismatch exit.",
+				func() int64 { return sr.EvalStats().EarlyExits })
+			reg.GaugeFunc("sfi_arena_bytes", "Scratch-arena storage retained across the evaluator and its clones.",
+				func() float64 { return float64(sr.EvalStats().ArenaBytes) })
+		}
+		if ls, ok := ev.(evalstats.LatencySampler); ok {
+			hist := &evalstats.Histogram{}
+			ls.SetLatencyHistogram(hist) // before Execute, so worker clones inherit it
+			reg.Histogram("sfi_experiment_duration_seconds", "Wall time of fully evaluated experiments.", hist)
+		}
+		srv, err := telemetry.StartServer(*metricsAddr, reg)
+		if err != nil {
+			return fail("-metrics-addr: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "sfirun: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
+	}
+
 	// Same seed ⇒ bit-identical Result at any worker count, with or
 	// without an interrupt/resume cycle in between. errInterrupted means
 	// the message is already on stderr and the process must exit 1.
@@ -171,8 +232,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				opts = append(opts, sfi.WithResume())
 			}
 		}
+		var sinks []sfi.ProgressSink
 		if *progress {
-			opts = append(opts, sfi.WithProgress(progressPrinter(stderr, name)))
+			sinks = append(sinks, progressPrinter(stderr, name))
+		}
+		if tracer != nil {
+			opts = append(opts, sfi.WithTrace(tracer.Sink(name)))
+			sinks = append(sinks, tracer.Progress(name))
+		}
+		if rateGauge != nil {
+			rg, dg := rateGauge, doneGauge
+			sinks = append(sinks, func(p sfi.Progress) {
+				rg.Set(p.Rate)
+				dg.Set(float64(p.Done))
+			})
+		}
+		if len(sinks) > 0 {
+			opts = append(opts, sfi.WithProgress(composeSinks(sinks)))
 		}
 		if *earlyStop >= 0 {
 			opts = append(opts, sfi.WithEarlyStop(*earlyStop))
@@ -293,6 +369,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// composeSinks fans one progress stream out to several sinks, in order.
+func composeSinks(sinks []sfi.ProgressSink) sfi.ProgressSink {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	return func(p sfi.Progress) {
+		for _, s := range sinks {
+			s(p)
+		}
+	}
+}
+
+// printTraceSummary replays the recorded trace into a human-readable
+// report on w (the -trace-summary flag). Failures are diagnostics, not
+// fatal — the campaigns already completed.
+func printTraceSummary(w io.Writer, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(w, "sfirun: trace summary: %v\n", err)
+		return
+	}
+	defer f.Close()
+	events, err := telemetry.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintf(w, "sfirun: trace summary: %v\n", err)
+		return
+	}
+	telemetry.Summarize(events).WriteReport(w, false)
 }
 
 // progressPrinter renders streaming engine events as stderr lines, one

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"cnnsfi/internal/telemetry"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -59,6 +62,7 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"unknown_substrate", []string{"-model", "smallcnn", "-substrate", "fpga"}},
 		{"inference_needs_smallcnn", []string{"-model", "resnet20", "-substrate", "inference"}},
 		{"fig6_layer_out_of_range", []string{"-model", "smallcnn", "-margin", "0.05", "-fig6", "-layer", "99"}},
+		{"trace_summary_without_trace", []string{"-trace-summary"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -136,6 +140,55 @@ func TestCLIFig5Golden(t *testing.T) {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
 	checkGolden(t, "fig5_oracle.stdout.golden", stdout)
+}
+
+// TestCLITraceRoundTrip drives the -trace/-trace-summary flags through
+// the real CLI: the recorded JSONL must parse strictly, each of the four
+// Table III campaigns must be complete with its final progress counters
+// agreeing with the campaign_end tallies, and the replayed summary must
+// land on stderr.
+func TestCLITraceRoundTrip(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	code, _, stderr := runCLI(t,
+		"-model", "smallcnn", "-substrate", "oracle",
+		"-margin", "0.05", "-workers", "1", "-table3",
+		"-trace", tracePath, "-trace-summary")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %q)", code, stderr)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("recorded trace does not parse: %v", err)
+	}
+	sum := telemetry.Summarize(events)
+	if sum.Dropped != 0 {
+		t.Errorf("trace dropped %d events", sum.Dropped)
+	}
+	if len(sum.Campaigns) != 4 {
+		t.Fatalf("traced campaigns = %d, want 4 (one per Table III approach)", len(sum.Campaigns))
+	}
+	for _, c := range sum.Campaigns {
+		if !c.Complete {
+			t.Errorf("campaign %q has no campaign_end", c.Campaign)
+		}
+		if c.FinalProgress == nil {
+			t.Errorf("campaign %q has no final progress event", c.Campaign)
+			continue
+		}
+		if c.Done != c.FinalProgress.Done || c.Critical != c.FinalProgress.Critical {
+			t.Errorf("campaign %q: campaign_end (done=%d critical=%d) != final progress (done=%d critical=%d)",
+				c.Campaign, c.Done, c.Critical, c.FinalProgress.Done, c.FinalProgress.Critical)
+		}
+		if !strings.Contains(stderr, fmt.Sprintf("campaign %q", c.Campaign)) {
+			t.Errorf("-trace-summary output missing campaign %q:\n%s", c.Campaign, stderr)
+		}
+	}
 }
 
 // TestCLIProgressReportsEvalStats asserts the final progress line

@@ -1,0 +1,66 @@
+// Command sfitrace replays a JSONL campaign trace recorded with
+// `sfirun -trace` (or any telemetry.Tracer) into a human-readable
+// summary: per-campaign tallies, per-stratum lifecycle, worker
+// utilization, and the tracer's drop count.
+//
+//	sfirun -model smallcnn -table3 -trace run.jsonl
+//	sfitrace -in run.jsonl
+//	sfitrace -in run.jsonl -strip-timing   # deterministic output for diffing
+//
+// With -in - (the default) the trace is read from stdin, so traces can
+// be piped or streamed from another host.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cnnsfi/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind main, parameterised for testing. Bad
+// input yields one actionable line on stderr and exit code 1.
+func run(_ context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfitrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "-", "trace file to replay (- reads stdin)")
+	strip := fs.Bool("strip-timing", false,
+		"render durations, rates, and utilization as '-' so the report depends only on (plan, seed, workers)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "sfitrace: unexpected arguments %v (the trace comes from -in)\n", fs.Args())
+		return 1
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "sfitrace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+
+	events, err := telemetry.ReadTrace(r)
+	if err != nil {
+		fmt.Fprintf(stderr, "sfitrace: %s: %v\n", *in, err)
+		return 1
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(stderr, "sfitrace: %s: empty trace\n", *in)
+		return 1
+	}
+	telemetry.Summarize(events).WriteReport(stdout, *strip)
+	return 0
+}

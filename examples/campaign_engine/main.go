@@ -33,23 +33,30 @@ func main() {
 	o := sfi.NewOracle(net, sfi.OracleDefaults(3))
 	const seed, workers = 7, 4
 
-	// 1. Streaming progress + early stop. The sink runs on the engine's
-	//    dispatcher goroutine every WithProgressInterval merged
-	//    injections; WithEarlyStop(0.02) halts each stratum as soon as
-	//    its achieved margin (Eq. 3 inverted at the observed proportion)
-	//    reaches 2%, reporting the actual sample size next to the plan's.
+	// 1. Streaming progress + early stop. Progress sinks run on the
+	//    engine's dispatcher goroutine every WithProgressInterval merged
+	//    injections, so a sink that does I/O (like this printer) is
+	//    decoupled through sfi.AsyncSink: events are handed to a
+	//    drain goroutine through a small buffer, interior events are
+	//    dropped rather than ever blocking the dispatcher, and the final
+	//    event is always delivered. WithEarlyStop(0.02) halts each
+	//    stratum as soon as its achieved margin (Eq. 3 inverted at the
+	//    observed proportion) reaches 2%, reporting the actual sample
+	//    size next to the plan's.
 	fmt.Printf("layer-wise plan: %d strata, %d injections\n\n",
 		len(plan.Subpops), plan.TotalInjections())
+	progress, stopProgress := sfi.AsyncSink(func(p sfi.Progress) {
+		fmt.Printf("  %6.1f%%  done=%-6d critical=%-5d %.0f inj/s\n",
+			float64(p.Done)/float64(p.Planned)*100, p.Done, p.Critical, p.Rate)
+	}, 64)
 	eng := sfi.NewEngine(
 		sfi.WithWorkers(workers),
 		sfi.WithProgressInterval(8192),
-		sfi.WithProgress(func(p sfi.Progress) {
-			fmt.Printf("  %6.1f%%  done=%-6d critical=%-5d %.0f inj/s\n",
-				float64(p.Done)/float64(p.Planned)*100, p.Done, p.Critical, p.Rate)
-		}),
+		sfi.WithProgress(progress),
 		sfi.WithEarlyStop(0.02),
 	)
 	res, err := eng.Execute(context.Background(), o, plan, seed)
+	stopProgress() // drain buffered progress lines before printing the tally
 	if err != nil {
 		log.Fatal(err)
 	}

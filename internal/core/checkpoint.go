@@ -19,10 +19,10 @@ const checkpointVersion = 1
 // worker count that wrote it, so resuming at the same worker count
 // re-evaluates nothing and re-creates the exact shard layout.
 type checkpointStratum struct {
-	Cursor    int64                             `json:"cursor"`
-	Successes int64                             `json:"successes"`
-	Stopped   bool                              `json:"stopped,omitempty"`
-	PerLayer  map[int]stats.ProportionEstimate  `json:"per_layer,omitempty"`
+	Cursor    int64                            `json:"cursor"`
+	Successes int64                            `json:"successes"`
+	Stopped   bool                             `json:"stopped,omitempty"`
+	PerLayer  map[int]stats.ProportionEstimate `json:"per_layer,omitempty"`
 }
 
 // checkpointDoc is the stable on-disk schema of a campaign checkpoint.

@@ -40,6 +40,7 @@ type Engine struct {
 	earlyStop       bool
 	earlyStopTarget float64
 	validate        bool
+	trace           TraceSink
 }
 
 // Option configures an Engine (functional options).
@@ -163,6 +164,11 @@ type execution struct {
 	// events report this campaign's work only.
 	reporter  StatsReporter
 	statsBase EvalStats
+
+	// trace/tstate drive structured event emission (WithTrace); both
+	// stay nil/zero when no sink is installed.
+	trace  TraceSink
+	tstate traceState
 }
 
 // Execute runs the plan against the evaluator. It returns a complete
@@ -242,6 +248,22 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 	}
 	x.pos = make([]int, len(plan.Subpops))
 	x.done = make([]bool, len(x.shards))
+	if e.trace != nil {
+		x.trace = e.trace
+		x.tstate = traceState{
+			started: make([]bool, len(plan.Subpops)),
+			ended:   make([]bool, len(plan.Subpops)),
+			t0:      make([]time.Time, len(plan.Subpops)),
+		}
+		x.emitTrace(TraceCampaignStart, func(ev *TraceEvent) {
+			ev.Seed = seed
+			ev.Fingerprint = planFingerprint(plan)
+			ev.Workers = workers
+			ev.Planned = plan.TotalInjections()
+			ev.Restored = x.restored
+			ev.Strata = len(plan.Subpops)
+		})
+	}
 
 	// Per-worker evaluators: worker 0 keeps the original; the rest get
 	// clones when the evaluator requires isolation.
@@ -258,25 +280,28 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 	type completion struct {
 		shard     int
 		evaluated bool
+		worker    int
+		dur       time.Duration // shard evaluation wall time
 	}
 	jobs := make(chan int)
 	results := make(chan completion, len(x.shards)) // workers never block
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(ev Evaluator) {
+		go func(w int, ev Evaluator) {
 			defer wg.Done()
 			for k := range jobs {
 				// Cooperative cancellation, checked at shard boundaries:
 				// a cancelled worker reports the shard back unevaluated.
 				if ctx.Err() != nil {
-					results <- completion{k, false}
+					results <- completion{shard: k, worker: w}
 					continue
 				}
+				t0 := time.Now()
 				x.shards[k].evaluate(ev, x.space, plan, e.validate)
-				results <- completion{k, true}
+				results <- completion{shard: k, evaluated: true, worker: w, dur: time.Since(t0)}
 			}
-		}(evals[w])
+		}(w, evals[w])
 	}
 
 	// Dispatch loop: one goroutine owns all bookkeeping (prefix merge,
@@ -298,12 +323,23 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		}
 		select {
 		case jobCh <- next:
+			x.traceStratumStart(x.shards[next].stratum)
 			next++
 			inFlight++
 			skipStopped()
 		case c := <-results:
 			inFlight--
 			if c.evaluated {
+				if x.trace != nil {
+					s := x.shards[c.shard]
+					x.emitTrace(TraceShardDone, func(ev *TraceEvent) {
+						ev.Stratum = s.stratum
+						ev.Shard = c.shard
+						ev.Worker = c.worker
+						ev.Injections = int64(len(s.idx))
+						ev.Dur = c.dur
+					})
+				}
 				x.handleCompletion(c.shard)
 				skipStopped()
 				if !aborted {
@@ -324,9 +360,12 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 	res := x.assemble(aborted)
 	if aborted {
 		if e.checkpointPath != "" && runErr == nil {
-			runErr = x.writeCheckpoint(e.checkpointPath)
+			if runErr = x.writeCheckpoint(e.checkpointPath); runErr == nil {
+				x.traceCheckpoint(e.checkpointPath)
+			}
 		}
 		x.emitProgress(true)
+		x.traceCampaignEnd(res)
 		if runErr == nil {
 			runErr = ctx.Err()
 		}
@@ -336,7 +375,24 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		os.Remove(e.checkpointPath) // campaign complete; drop stale state
 	}
 	x.emitProgress(true)
+	x.traceCampaignEnd(res)
 	return res, nil
+}
+
+// traceCampaignEnd closes the trace with the final tallies; the Eval
+// snapshot here is exact (all workers joined).
+func (x *execution) traceCampaignEnd(res *Result) {
+	x.emitTrace(TraceCampaignEnd, func(ev *TraceEvent) {
+		ev.Done = x.merged
+		ev.Critical = x.critical
+		ev.Planned = x.plan.TotalInjections()
+		ev.Partial = res.Partial
+		ev.EarlyStopped = len(res.EarlyStopped)
+		ev.Eval = x.evalSnapshot()
+		if secs := ev.Elapsed.Seconds(); secs > 0 {
+			ev.Rate = float64(x.merged-x.restored) / secs
+		}
+	})
 }
 
 // handleCompletion records an evaluated shard and merges the stratum's
@@ -353,6 +409,7 @@ func (x *execution) handleCompletion(k int) {
 		x.pos[i]++
 		x.checkEarlyStop(i)
 	}
+	x.traceStratumEnd(i)
 }
 
 // mergeShard folds one evaluated shard into its stratum's prefix tally.
@@ -397,8 +454,14 @@ func (x *execution) checkEarlyStop(i int) {
 		target = x.plan.Config.ErrorMargin
 	}
 	pHat := float64(st.successes) / float64(st.cursor)
-	if x.plan.Config.ObservedMargin(pHat, st.cursor, sub.Population) <= target {
+	if m := x.plan.Config.ObservedMargin(pHat, st.cursor, sub.Population); m <= target {
 		st.stopped = true
+		x.emitTrace(TraceEarlyStop, func(ev *TraceEvent) {
+			ev.Stratum = i
+			ev.Done = st.cursor
+			ev.Critical = st.successes
+			ev.Margin = m
+		})
 	}
 }
 
@@ -414,8 +477,18 @@ func (x *execution) housekeeping() error {
 		if err := x.writeCheckpoint(e.checkpointPath); err != nil {
 			return err
 		}
+		x.traceCheckpoint(e.checkpointPath)
 	}
 	return nil
+}
+
+// traceCheckpoint records a successful checkpoint write.
+func (x *execution) traceCheckpoint(path string) {
+	x.emitTrace(TraceCheckpoint, func(ev *TraceEvent) {
+		ev.Path = path
+		ev.Done = x.merged
+		ev.Critical = x.critical
+	})
 }
 
 // emitProgress sends one event to the sink, if any.

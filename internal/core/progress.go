@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"cnnsfi/internal/evalstats"
@@ -38,8 +39,12 @@ type Progress struct {
 	Final bool
 	// Eval breaks down how the evaluator resolved this campaign's
 	// experiments, when the evaluator implements StatsReporter (zero
-	// otherwise). Counts are deltas since Execute started, so work from
-	// earlier campaigns or checkpoint-restored runs is excluded.
+	// otherwise). The monotone counters (Skipped, Evaluated, EarlyExits)
+	// are deltas since Execute started, so work from earlier campaigns
+	// or checkpoint-restored runs is excluded — but Eval.ArenaBytes is a
+	// level, not a delta: it reports the scratch storage currently
+	// retained by the evaluator and its clones, which persists across
+	// campaigns by design (EvalStats.Sub carries it through unchanged).
 	// Non-final events may lag Done slightly (the counters advance on
 	// worker goroutines as experiments run, while Done advances on
 	// in-order merge); the Final event is exact.
@@ -63,5 +68,54 @@ type StatsReporter = evalstats.Reporter
 // sink synchronously from its dispatcher goroutine, so implementations
 // need no locking but must return promptly — a slow sink stalls shard
 // hand-off. A sink may cancel the campaign's context; the engine then
-// winds down at the next shard boundary.
+// winds down at the next shard boundary. Sinks that cannot guarantee
+// promptness (network writers, UIs) should be wrapped with AsyncSink.
 type ProgressSink func(Progress)
+
+// AsyncSink decouples a slow ProgressSink from the engine's dispatcher:
+// the returned sink enqueues events onto a buffered channel and a
+// dedicated goroutine drains them into sink, so the dispatcher never
+// blocks on the consumer. buf is the channel capacity (values < 1 are
+// treated as 1).
+//
+// Drop policy: when the buffer is full, non-final events are silently
+// dropped — progress events are cumulative snapshots, so a later event
+// supersedes anything dropped before it. The Final event is never
+// dropped: the enqueue blocks until buffer space frees up, which is
+// bounded by the consumer draining at its own pace.
+//
+// The returned stop function closes the channel and blocks until every
+// buffered event has been delivered; call it after Execute returns (the
+// engine never emits after Execute, and enqueueing after stop would
+// panic). stop is idempotent.
+func AsyncSink(sink ProgressSink, buf int) (ProgressSink, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Progress, buf)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for p := range ch {
+			sink(p)
+		}
+	}()
+	wrapped := func(p Progress) {
+		if p.Final {
+			ch <- p // finals are never dropped; block until space frees
+			return
+		}
+		select {
+		case ch <- p:
+		default: // buffer full: drop — a later snapshot supersedes this one
+		}
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			close(ch)
+			<-drained
+		})
+	}
+	return wrapped, stop
+}

@@ -1,0 +1,154 @@
+package evalstats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSubArenaBytesIsALevel pins the Sub contract: the monotone
+// experiment counters are differenced against the baseline, but
+// ArenaBytes is a level (current retained scratch storage) and must be
+// carried through unchanged — NOT differenced, which would report
+// nonsense like 0 or negative bytes for a campaign that reused an
+// already-grown arena.
+func TestSubArenaBytesIsALevel(t *testing.T) {
+	base := EvalStats{Skipped: 100, Evaluated: 200, EarlyExits: 50, ArenaBytes: 1 << 20}
+	now := EvalStats{Skipped: 130, Evaluated: 260, EarlyExits: 55, ArenaBytes: 1 << 20}
+
+	got := now.Sub(base)
+	want := EvalStats{Skipped: 30, Evaluated: 60, EarlyExits: 5, ArenaBytes: 1 << 20}
+	if got != want {
+		t.Errorf("Sub(base) = %+v, want %+v", got, want)
+	}
+
+	// An arena that grew mid-campaign reports its new level, not the
+	// growth delta.
+	now.ArenaBytes = 3 << 20
+	if got := now.Sub(base); got.ArenaBytes != 3<<20 {
+		t.Errorf("ArenaBytes after growth = %d, want the current level %d", got.ArenaBytes, 3<<20)
+	}
+
+	// Subtracting a snapshot from itself zeroes the counters but keeps
+	// the level.
+	self := now.Sub(now)
+	if self.Skipped != 0 || self.Evaluated != 0 || self.EarlyExits != 0 {
+		t.Errorf("self-Sub counters = %+v, want zeros", self)
+	}
+	if self.ArenaBytes != now.ArenaBytes {
+		t.Errorf("self-Sub ArenaBytes = %d, want %d", self.ArenaBytes, now.ArenaBytes)
+	}
+}
+
+func TestExperiments(t *testing.T) {
+	s := EvalStats{Skipped: 7, Evaluated: 11, EarlyExits: 3}
+	if got := s.Experiments(); got != 18 {
+		t.Errorf("Experiments() = %d, want 18 (EarlyExits must not double-count)", got)
+	}
+}
+
+// TestHistogramBuckets pins the power-of-two bucketing: an observation
+// of n nanoseconds lands in the bucket indexed by n's bit length.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{time.Microsecond, 10}, // 1000 ns
+		{time.Millisecond, 20}, // 1e6 ns
+		{time.Second, 30},      // 1e9 ns
+		{-time.Second, 0},      // clamped to 0
+		{10 * time.Minute, 39}, // past the last bound: overflow bucket
+		{1<<62 - 1, HistogramBuckets - 1},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.d)
+		s := h.Snapshot()
+		for i, n := range s.Buckets {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.d, i, n, want)
+			}
+		}
+		if s.Count != 1 {
+			t.Errorf("Observe(%v): Count = %d, want 1", tc.d, s.Count)
+		}
+		wantSum := tc.d
+		if wantSum < 0 {
+			wantSum = 0
+		}
+		if s.Sum != wantSum {
+			t.Errorf("Observe(%v): Sum = %v, want %v", tc.d, s.Sum, wantSum)
+		}
+	}
+}
+
+// TestHistogramBucketBound checks the bound invariant the Prometheus
+// exporter relies on: every observation in buckets 0..i is ≤ bound(i).
+func TestHistogramBucketBound(t *testing.T) {
+	if got := HistogramBucketBound(0); got != 0 {
+		t.Errorf("bound(0) = %v, want 0", got)
+	}
+	for i := 1; i < HistogramBuckets; i++ {
+		want := time.Duration(uint64(1)<<uint(i) - 1)
+		if got := HistogramBucketBound(i); got != want {
+			t.Errorf("bound(%d) = %d, want %d", i, got, want)
+		}
+		// The smallest duration of bucket i must exceed bound(i-1).
+		lo := time.Duration(uint64(1) << uint(i-1))
+		if lo <= HistogramBucketBound(i-1) {
+			t.Errorf("bucket %d low edge %d not above bound(%d) = %d",
+				i, lo, i-1, HistogramBucketBound(i-1))
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(w*perW + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perW {
+		t.Errorf("Count = %d, want %d", s.Count, workers*perW)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != s.Count {
+		t.Errorf("bucket sum = %d, want Count = %d", total, s.Count)
+	}
+}
+
+// TestObserveAllocs pins the hot-path contract: Observe never
+// allocates.
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(time.Microsecond) }); n != 0 {
+		t.Errorf("Observe allocates %.1f times per call, want 0", n)
+	}
+}

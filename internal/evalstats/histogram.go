@@ -1,0 +1,90 @@
+package evalstats
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBuckets is the fixed bucket count of Histogram. Bucket i
+// holds observations whose nanosecond count has bit length i — i.e.
+// durations in [2^(i-1), 2^i) ns, with bucket 0 holding exactly 0 ns —
+// so 40 buckets span 1 ns to ~9 minutes before the final bucket
+// overflows, comfortably covering both the ~100 ns oracle verdict and
+// multi-second inference experiments.
+const HistogramBuckets = 40
+
+// Histogram is a fixed-size power-of-two latency histogram safe for
+// concurrent use. Observe is allocation-free and lock-free (three
+// atomic adds), cheap enough for the per-experiment hot path; it is the
+// backing store for the experiment-latency metric exported by
+// internal/telemetry. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations (clock steps) are
+// clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= HistogramBuckets {
+		i = HistogramBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's state.
+// Taken while observations are in flight it is approximate (each field
+// is read atomically but not the set as a whole); after the observing
+// goroutines are joined it is exact.
+type HistogramSnapshot struct {
+	// Buckets[i] counts observations with bit length i; see
+	// HistogramBucketBound for the bucket's inclusive upper bound.
+	Buckets [HistogramBuckets]int64
+	// Count is the total number of observations and Sum their summed
+	// duration.
+	Count int64
+	Sum   time.Duration
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// HistogramBucketBound returns bucket i's inclusive upper bound: every
+// observation counted in buckets 0..i took at most this long. The final
+// bucket also absorbs overflow, so its bound is a floor, not a bound —
+// exporters should publish it as +Inf.
+func HistogramBucketBound(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return time.Duration(uint64(1)<<uint(i) - 1)
+}
+
+// LatencySampler is an optional evaluator extension, the second half of
+// the Reporter seam: evaluators that can time individual experiments
+// accept a shared histogram here. Install the histogram before the
+// campaign starts — evaluators read the pointer without synchronization
+// on the hot path, and worker clones inherit whatever the root held at
+// clone time. A nil histogram (the default) disables timing entirely;
+// evaluators must not touch the clock in that case so the disabled path
+// stays free of overhead.
+type LatencySampler interface {
+	SetLatencyHistogram(h *Histogram)
+}

@@ -31,9 +31,11 @@ package inject
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"cnnsfi/internal/core"
 	"cnnsfi/internal/dataset"
+	"cnnsfi/internal/evalstats"
 	"cnnsfi/internal/faultmodel"
 	"cnnsfi/internal/fp"
 	"cnnsfi/internal/nn"
@@ -111,6 +113,13 @@ type Injector struct {
 	// shared by every clone derived from the same root and updated
 	// atomically — like count, but for the EvalStats breakdown.
 	counters *evalCounters
+
+	// latency, when non-nil, receives the wall time of every evaluated
+	// experiment (masked skips are counted, not timed — they cost
+	// nanoseconds and would both distort the histogram and double their
+	// own cost). Shared with clones like counters; install it via
+	// SetLatencyHistogram before the campaign starts.
+	latency *evalstats.Histogram
 
 	// scratch is this injector's reusable node-output slice for the hot
 	// path; per-instance (not shared with clones) like Net's arena.
@@ -208,6 +217,7 @@ func (inj *Injector) Clone() *Injector {
 		acc:       inj.acc,
 		count:     inj.count,
 		counters:  inj.stats(),
+		latency:   inj.latency,
 	}
 	if c.count == nil { // zero-value parent never initialised its counter
 		c.count = &inj.Injections
@@ -238,6 +248,14 @@ func (inj *Injector) stats() *evalCounters {
 	}
 	return inj.counters
 }
+
+// SetLatencyHistogram implements evalstats.LatencySampler: every
+// subsequently evaluated experiment records its wall time into h
+// (masked skips are not timed). Call it before the campaign starts and
+// before cloning — clones inherit the pointer held at clone time, and
+// the hot path reads it without synchronization. A nil h disables
+// timing (the default; the disabled path never touches the clock).
+func (inj *Injector) SetLatencyHistogram(h *evalstats.Histogram) { inj.latency = h }
 
 // EvalStats implements core.StatsReporter: a snapshot of how this
 // injector (and every clone sharing its root) has spent experiments.
@@ -358,6 +376,10 @@ func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
 		return false
 	}
 	atomic.AddInt64(&c.evaluated, 1)
+	var start time.Time
+	if inj.latency != nil {
+		start = time.Now()
+	}
 
 	w := inj.layers[f.Layer].WeightData()
 	old := w[f.Param]
@@ -365,6 +387,9 @@ func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
 	defer func() {
 		w[f.Param] = old
 		inj.publishArenaGrowth(c)
+		if inj.latency != nil {
+			inj.latency.Observe(time.Since(start))
+		}
 	}()
 
 	from := inj.nodes[f.Layer]
@@ -415,6 +440,10 @@ func (inj *Injector) MismatchCount(f faultmodel.Fault) int {
 		return 0
 	}
 	atomic.AddInt64(&c.evaluated, 1)
+	var start time.Time
+	if inj.latency != nil {
+		start = time.Now()
+	}
 
 	w := inj.layers[f.Layer].WeightData()
 	old := w[f.Param]
@@ -422,6 +451,9 @@ func (inj *Injector) MismatchCount(f faultmodel.Fault) int {
 	defer func() {
 		w[f.Param] = old
 		inj.publishArenaGrowth(c)
+		if inj.latency != nil {
+			inj.latency.Observe(time.Since(start))
+		}
 	}()
 
 	from := inj.nodes[f.Layer]
@@ -448,3 +480,9 @@ func predictChecked(out *tensor.Tensor) int {
 	}
 	return out.ArgMax()
 }
+
+// Injector implements both halves of the evaluator stats seam.
+var (
+	_ core.StatsReporter       = (*Injector)(nil)
+	_ evalstats.LatencySampler = (*Injector)(nil)
+)

@@ -37,6 +37,7 @@ package oracle
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"cnnsfi/internal/evalstats"
 	"cnnsfi/internal/faultmodel"
@@ -109,6 +110,10 @@ type Oracle struct {
 	// skipped/evaluated back EvalStats: how many verdicts came from the
 	// masked-fault short-circuit vs the full perturbation model.
 	skipped, evaluated int64
+
+	// latency, when non-nil, receives the wall time of every full
+	// (non-masked) verdict; see SetLatencyHistogram.
+	latency *evalstats.Histogram
 }
 
 // New snapshots the network's weights and builds the oracle over its
@@ -199,8 +204,22 @@ func (o *Oracle) IsCritical(f faultmodel.Fault) bool {
 		return false
 	}
 	atomic.AddInt64(&o.evaluated, 1)
+	if o.latency != nil {
+		start := time.Now()
+		v := o.verdict(f)
+		o.latency.Observe(time.Since(start))
+		return v
+	}
 	return o.verdict(f)
 }
+
+// SetLatencyHistogram implements evalstats.LatencySampler: every
+// subsequent non-masked verdict records its wall time into h. The
+// oracle is shared across campaign workers rather than cloned, so
+// install the histogram before the campaign starts — IsCritical reads
+// the pointer without synchronization. A nil h disables timing (the
+// default; the disabled path never touches the clock).
+func (o *Oracle) SetLatencyHistogram(h *evalstats.Histogram) { o.latency = h }
 
 // IsCriticalReference is IsCritical without the masked-fault
 // short-circuit: the full perturbation-magnitude path for every fault.
@@ -265,6 +284,12 @@ func (o *Oracle) ExhaustiveNetworkRate() float64 {
 	}
 	return float64(critical) / float64(total)
 }
+
+// Oracle implements both halves of the evaluator stats seam.
+var (
+	_ evalstats.Reporter       = (*Oracle)(nil)
+	_ evalstats.LatencySampler = (*Oracle)(nil)
+)
 
 // hashUnit maps (seed, fault) to a uniform value in [0, 1) via FNV-1a.
 func hashUnit(seed int64, f faultmodel.Fault) float64 {

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cnnsfi/internal/evalstats"
+)
+
+// Counter is a monotone int64 metric. The zero value is ready; all
+// methods are safe for concurrent use and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down. The zero value is
+// ready; all methods are safe for concurrent use and allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration (Counter/Gauge/...) is cheap but
+// mutex-guarded and meant for setup time; the returned handles are the
+// lock-free hot-path surface. Metric names must be unique and match the
+// Prometheus grammar; violations panic, as misregistration is a
+// programming error.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+}
+
+type entry struct {
+	name, help, typ string
+	// collect appends the entry's samples (full lines) to w.
+	collect func(w io.Writer) error
+}
+
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(name, help, typ string, collect func(io.Writer) error) {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.name == name {
+			panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+		}
+	}
+	r.entries = append(r.entries, &entry{name: name, help: help, typ: typ, collect: collect})
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		return err
+	})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time (e.g. an existing atomic tally).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(name, help, "counter", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, fn())
+		return err
+	})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+		return err
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn()))
+		return err
+	})
+}
+
+// Histogram registers h as a Prometheus histogram. Bucket bounds are
+// the power-of-two nanosecond bounds of evalstats.Histogram converted
+// to seconds (the Prometheus base unit for durations); the final
+// overflow bucket exports as le="+Inf". Empty trailing buckets are
+// elided — cumulative counts make them redundant — keeping scrapes
+// compact.
+func (r *Registry) Histogram(name, help string, h *evalstats.Histogram) {
+	r.register(name, help, "histogram", func(w io.Writer) error {
+		s := h.Snapshot()
+		last := 0
+		for i, n := range s.Buckets {
+			if n > 0 {
+				last = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= last && i < evalstats.HistogramBuckets-1; i++ {
+			cum += s.Buckets[i]
+			le := formatFloat(evalstats.HistogramBucketBound(i).Seconds())
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(s.Sum.Seconds())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		return err
+	})
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every registered metric in the text
+// exposition format, in name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.typ); err != nil {
+			return err
+		}
+		if err := e.collect(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the /metrics scrape handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are write failures to the client;
+		// nothing useful to do with them.
+		_ = r.WritePrometheus(w)
+	})
+}

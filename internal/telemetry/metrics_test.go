@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cnnsfi/internal/evalstats"
+)
+
+func TestRegistryPrometheusText(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("sfi_masked_skips_total", "Masked-fault short circuits.")
+	c.Add(41)
+	c.Inc()
+	g := reg.Gauge("sfi_injections_per_second", "Campaign throughput.")
+	g.Set(1234.5)
+	reg.GaugeFunc("sfi_arena_bytes", "Retained arena storage.", func() float64 { return 96 })
+	reg.CounterFunc("sfi_injections_total", "Experiments run.", func() int64 { return 7 })
+
+	var h evalstats.Histogram
+	h.Observe(100 * time.Nanosecond) // bucket 7 (64..127 ns)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Millisecond) // bucket 20
+	reg.Histogram("sfi_experiment_duration_seconds", "Experiment latency.", &h)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE sfi_masked_skips_total counter",
+		"sfi_masked_skips_total 42",
+		"# TYPE sfi_injections_per_second gauge",
+		"sfi_injections_per_second 1234.5",
+		"sfi_arena_bytes 96",
+		"sfi_injections_total 7",
+		"# TYPE sfi_experiment_duration_seconds histogram",
+		`sfi_experiment_duration_seconds_bucket{le="+Inf"} 3`,
+		"sfi_experiment_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets must be cumulative and non-decreasing, ending
+	// at the total count.
+	var prev int64 = -1
+	var buckets int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "sfi_experiment_duration_seconds_bucket") {
+			continue
+		}
+		buckets++
+		n, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not monotone at %q (prev %d)", line, prev)
+		}
+		prev = n
+	}
+	if prev != 3 {
+		t.Errorf("final cumulative bucket = %d, want 3", prev)
+	}
+	if buckets < 2 {
+		t.Errorf("only %d bucket lines exported", buckets)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ok_name", "")
+	for name, f := range map[string]func(){
+		"duplicate":    func() { reg.Counter("ok_name", "") },
+		"invalid name": func() { reg.Gauge("bad name!", "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sfi_test_total", "A counter.").Add(5)
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "sfi_test_total 5") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index looks wrong:\n%.200s", body)
+	}
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns an http.ServeMux serving the registry at /metrics and
+// the standard profiling endpoints under /debug/pprof/ (mounted
+// explicitly — the pprof package's side-effect registration only covers
+// http.DefaultServeMux, which a diagnostics listener should not expose
+// wholesale).
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics/profiling HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr (e.g. "localhost:9090", or ":0" for an
+// ephemeral port) and serves NewMux(reg) on it in a background
+// goroutine. The returned server keeps running until Close.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	go func() {
+		// Serve returns http.ErrServerClosed on Close; other errors mean
+		// the listener died, which Close surfaces via the closed socket.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down immediately (in-flight scrapes are
+// dropped; campaign telemetry is advisory, not transactional).
+func (s *Server) Close() error { return s.srv.Close() }

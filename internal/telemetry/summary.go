@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cnnsfi/internal/evalstats"
+	"cnnsfi/internal/report"
+)
+
+// StratumSummary is one stratum's replayed lifecycle.
+type StratumSummary struct {
+	Stratum, Layer, Bit int
+	Planned             int64
+	Done                int64
+	Critical            int64
+	Shards              int
+	Dur                 time.Duration
+	EarlyStopped        bool
+	Margin              float64 // achieved margin, when early-stopped
+}
+
+// CampaignSummary aggregates every event of one labelled campaign.
+type CampaignSummary struct {
+	Campaign    string
+	Seed        int64
+	Fingerprint string
+	Workers     int
+	Planned     int64
+	Restored    int64
+	NumStrata   int
+
+	// Done/Critical/Rate/Partial/EarlyStopped/Eval come from the
+	// campaign_end event; Complete is false when the trace has none
+	// (e.g. a crashed run), in which case they hold the last observed
+	// values instead.
+	Complete     bool
+	Done         int64
+	Critical     int64
+	Elapsed      time.Duration
+	Rate         float64
+	Partial      bool
+	EarlyStopped int
+	Eval         evalstats.EvalStats
+
+	Checkpoints int
+	ShardsDone  int
+	Strata      []*StratumSummary
+	// WorkerBusy sums each worker's shard evaluation wall time — busy
+	// time over campaign Elapsed is that worker's utilization.
+	WorkerBusy map[int]time.Duration
+
+	// FinalProgress is the campaign's final progress event, when the
+	// trace recorded progress (nil otherwise). Its counters must agree
+	// with the campaign_end tallies — the cross-check the trace tests
+	// and `sfitrace` rely on.
+	FinalProgress *Event
+}
+
+// Summary is a replayed trace: campaigns in first-seen order plus
+// tracer-level bookkeeping.
+type Summary struct {
+	Campaigns []*CampaignSummary
+	// Dropped is the lost-event count from the trace's "drops" record
+	// (0 for a complete trace).
+	Dropped int64
+	// Events is the total number of trace lines consumed.
+	Events int
+}
+
+// ReadTrace parses a JSONL trace stream strictly (every line must
+// round-trip through the Event schema; see ParseEvent). Blank lines are
+// permitted.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		ev, err := ParseEvent(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Summarize replays a trace into per-campaign summaries. It is tolerant
+// of truncated traces (campaigns without an end event report
+// Complete=false with the last observed tallies).
+func Summarize(events []Event) *Summary {
+	s := &Summary{Events: len(events)}
+	byName := map[string]*CampaignSummary{}
+	campaign := func(name string) *CampaignSummary {
+		c := byName[name]
+		if c == nil {
+			c = &CampaignSummary{Campaign: name, WorkerBusy: map[int]time.Duration{}}
+			byName[name] = c
+			s.Campaigns = append(s.Campaigns, c)
+		}
+		return c
+	}
+	stratum := func(c *CampaignSummary, ev Event) *StratumSummary {
+		for _, st := range c.Strata {
+			if st.Stratum == ev.Stratum {
+				return st
+			}
+		}
+		st := &StratumSummary{Stratum: ev.Stratum, Layer: ev.Layer, Bit: ev.Bit}
+		c.Strata = append(c.Strata, st)
+		return st
+	}
+	for i := range events {
+		ev := events[i]
+		if ev.Kind == KindDrops {
+			s.Dropped += ev.Dropped
+			continue
+		}
+		c := campaign(ev.Campaign)
+		switch ev.Kind {
+		case "campaign_start":
+			c.Seed = ev.Seed
+			c.Fingerprint = ev.Fingerprint
+			c.Workers = ev.Workers
+			c.Planned = ev.Planned
+			c.Restored = ev.Restored
+			c.NumStrata = ev.Strata
+		case "stratum_start":
+			st := stratum(c, ev)
+			st.Planned = ev.StratumPlanned
+			st.Done = ev.Done // restored prefix; overwritten at stratum_end
+		case "shard_done":
+			c.ShardsDone++
+			c.WorkerBusy[ev.Worker] += time.Duration(ev.DurNS)
+			stratum(c, ev).Shards++
+		case "stratum_end":
+			st := stratum(c, ev)
+			st.Layer = ev.Layer
+			st.Bit = ev.Bit
+			st.Planned = ev.StratumPlanned
+			st.Done = ev.Done
+			st.Critical = ev.Critical
+			st.Dur = time.Duration(ev.DurNS)
+		case "early_stop":
+			st := stratum(c, ev)
+			st.EarlyStopped = true
+			st.Margin = ev.Margin
+		case "checkpoint":
+			c.Checkpoints++
+		case "campaign_end":
+			c.Complete = true
+			c.Done = ev.Done
+			c.Critical = ev.Critical
+			c.Elapsed = time.Duration(ev.ElapsedNS)
+			c.Rate = ev.Rate
+			c.Partial = ev.Partial
+			c.EarlyStopped = ev.EarlyStopped
+			c.Eval = ev.Eval()
+		case KindProgress:
+			if ev.Final {
+				c.FinalProgress = &events[i]
+			}
+			if !c.Complete {
+				c.Done = ev.Done
+				c.Critical = ev.Critical
+				c.Elapsed = time.Duration(ev.ElapsedNS)
+			}
+		}
+	}
+	for _, c := range s.Campaigns {
+		sort.Slice(c.Strata, func(i, j int) bool { return c.Strata[i].Stratum < c.Strata[j].Stratum })
+	}
+	return s
+}
+
+// WriteReport renders the summary as a human-readable report. With
+// stripTiming set, wall-clock durations, rates, and utilization render
+// as "-" so the output is a deterministic function of (plan, seed,
+// workers) — the mode golden tests and `make trace-smoke` diff against.
+func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
+	dur := func(d time.Duration) string {
+		if stripTiming {
+			return "-"
+		}
+		return d.Round(time.Microsecond).String()
+	}
+	for _, c := range s.Campaigns {
+		fmt.Fprintf(w, "campaign %q — seed %d, fingerprint %s, workers %d\n",
+			c.Campaign, c.Seed, c.Fingerprint, c.Workers)
+		status := "complete"
+		switch {
+		case !c.Complete:
+			status = "truncated trace (no campaign_end)"
+		case c.Partial:
+			status = "partial (cancelled)"
+		}
+		fmt.Fprintf(w, "  status: %s\n", status)
+		fmt.Fprintf(w, "  injections: %s done / %s planned (%s restored from checkpoint)\n",
+			report.Comma(c.Done), report.Comma(c.Planned), report.Comma(c.Restored))
+		pct := "n/a"
+		if c.Done > 0 {
+			pct = report.Pct(float64(c.Critical) / float64(c.Done))
+		}
+		fmt.Fprintf(w, "  critical: %s (%s)\n", report.Comma(c.Critical), pct)
+		fmt.Fprintf(w, "  eval: %s masked skips, %s evaluated, %s early exits, %s arena bytes\n",
+			report.Comma(c.Eval.Skipped), report.Comma(c.Eval.Evaluated),
+			report.Comma(c.Eval.EarlyExits), report.Comma(c.Eval.ArenaBytes))
+		if stripTiming {
+			fmt.Fprintf(w, "  wall: -, rate: - inj/s\n")
+		} else {
+			fmt.Fprintf(w, "  wall: %s, rate: %.0f inj/s\n", dur(c.Elapsed), c.Rate)
+		}
+		fmt.Fprintf(w, "  strata: %d planned, %d early-stopped; %d shards, %d checkpoints\n",
+			c.NumStrata, c.EarlyStopped, c.ShardsDone, c.Checkpoints)
+
+		if len(c.Strata) > 0 {
+			t := report.NewTable("", "stratum", "layer", "bit", "planned", "done", "critical", "shards", "wall", "note")
+			for _, st := range c.Strata {
+				note := ""
+				if st.EarlyStopped {
+					note = fmt.Sprintf("early stop @ margin %.4f", st.Margin)
+				}
+				t.AddRow(st.Stratum, st.Layer, st.Bit, st.Planned, st.Done, st.Critical, st.Shards, dur(st.Dur), note)
+			}
+			t.Render(w)
+		}
+
+		if len(c.WorkerBusy) > 0 {
+			workers := make([]int, 0, len(c.WorkerBusy))
+			for wk := range c.WorkerBusy {
+				workers = append(workers, wk)
+			}
+			sort.Ints(workers)
+			fmt.Fprintf(w, "  worker utilization (busy evaluating / campaign wall):\n")
+			for _, wk := range workers {
+				if stripTiming {
+					fmt.Fprintf(w, "    worker %d: busy -\n", wk)
+					continue
+				}
+				util := 0.0
+				if c.Elapsed > 0 {
+					util = float64(c.WorkerBusy[wk]) / float64(c.Elapsed)
+				}
+				fmt.Fprintf(w, "    worker %d: busy %s (%s)\n", wk, dur(c.WorkerBusy[wk]), report.Pct(util))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%d events", s.Events)
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, ", %d DROPPED (trace is incomplete)", s.Dropped)
+	}
+	fmt.Fprintln(w)
+}

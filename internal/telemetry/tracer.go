@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"cnnsfi/internal/core"
+)
+
+// Tracer records campaign events as JSONL through a buffered async
+// writer: sinks obtained from Sink and Progress enqueue onto a channel
+// and return immediately, and a single writer goroutine encodes to the
+// underlying io.Writer — so the engine's dispatcher goroutine never
+// blocks on disk, however slow the destination.
+//
+// Drop policy: when the buffer is full, interior events are dropped and
+// counted (Dropped); terminal events — campaign_end and final progress —
+// instead block until buffer space frees, which the draining writer
+// bounds, so the records summaries depend on are never lost. If
+// anything was dropped, Close appends a final "drops" event carrying
+// the count, making loss visible in the trace itself.
+//
+// One Tracer may record several sequential campaigns (each Sink /
+// Progress call labels its events with a campaign name); its methods
+// are safe for concurrent use.
+type Tracer struct {
+	mu     sync.RWMutex // guards closed vs. in-flight emits
+	closed bool
+
+	ch      chan Event
+	done    chan struct{}
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	werr    error // writer-goroutine errors; read after done closes
+	dropped atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewTracer starts a tracer writing JSONL to w with an event buffer of
+// buf (values < 1 are treated as 1; a few hundred is plenty — events
+// are emitted at shard boundaries, not per experiment). The caller owns
+// w and closes it after Close returns.
+func NewTracer(w io.Writer, buf int) *Tracer {
+	if buf < 1 {
+		buf = 1
+	}
+	bw := bufio.NewWriter(w)
+	t := &Tracer{
+		ch:   make(chan Event, buf),
+		done: make(chan struct{}),
+		bw:   bw,
+		enc:  json.NewEncoder(bw),
+	}
+	go func() {
+		defer close(t.done)
+		for ev := range t.ch {
+			if t.werr == nil {
+				t.werr = t.enc.Encode(ev)
+			}
+		}
+	}()
+	return t
+}
+
+// Sink returns a core.TraceSink recording engine trace events under the
+// campaign label.
+func (t *Tracer) Sink(campaign string) core.TraceSink {
+	return func(ev core.TraceEvent) { t.emit(FromTrace(campaign, ev)) }
+}
+
+// Progress returns a core.ProgressSink recording progress events under
+// the campaign label. Compose it with other sinks as needed — it only
+// enqueues, so no AsyncSink wrapper is necessary.
+func (t *Tracer) Progress(campaign string) core.ProgressSink {
+	return func(p core.Progress) { t.emit(FromProgress(campaign, p)) }
+}
+
+// terminal reports whether ev must never be dropped.
+func terminal(ev Event) bool {
+	return ev.Kind == core.TraceCampaignEnd.String() || (ev.Kind == KindProgress && ev.Final)
+}
+
+// emit enqueues one event according to the drop policy. Events emitted
+// after Close are counted as dropped.
+func (t *Tracer) emit(ev Event) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		t.dropped.Add(1)
+		return
+	}
+	if terminal(ev) {
+		t.ch <- ev
+		return
+	}
+	select {
+	case t.ch <- ev:
+	default:
+		t.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many events have been dropped so far.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// Close stops accepting events, drains the buffer, appends a "drops"
+// event if any were lost, flushes, and returns the first write error
+// encountered (nil on a clean trace). Idempotent. Close does not close
+// the underlying writer.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		close(t.ch)
+	}
+	t.mu.Unlock()
+	<-t.done
+	t.closeOnce.Do(func() {
+		if d := t.dropped.Load(); d > 0 && t.werr == nil {
+			ev := newEvent(KindDrops)
+			ev.Dropped = d
+			t.werr = t.enc.Encode(ev)
+		}
+		t.closeErr = t.werr
+		if err := t.bw.Flush(); t.closeErr == nil {
+			t.closeErr = err
+		}
+	})
+	return t.closeErr
+}

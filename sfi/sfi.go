@@ -48,6 +48,7 @@ import (
 	"cnnsfi/internal/core"
 	"cnnsfi/internal/dataaware"
 	"cnnsfi/internal/dataset"
+	"cnnsfi/internal/evalstats"
 	"cnnsfi/internal/faultmodel"
 	"cnnsfi/internal/fp"
 	"cnnsfi/internal/inject"
@@ -146,6 +147,20 @@ type (
 	// StatsReporter is implemented by evaluators that track EvalStats
 	// (both the inference Injector and the Oracle do).
 	StatsReporter = core.StatsReporter
+	// TraceEvent is one structured engine event (campaign/stratum/shard
+	// lifecycle, early stops, checkpoints); see WithTrace.
+	TraceEvent = core.TraceEvent
+	// TraceKind discriminates TraceEvents.
+	TraceKind = core.TraceKind
+	// TraceSink consumes structured engine events; the
+	// internal/telemetry Tracer records them as JSONL.
+	TraceSink = core.TraceSink
+	// LatencyHistogram is the lock-free power-of-two histogram
+	// evaluators feed through the LatencySampler seam.
+	LatencyHistogram = evalstats.Histogram
+	// LatencySampler is implemented by evaluators that can time
+	// individual experiments (both the Injector and the Oracle do).
+	LatencySampler = evalstats.LatencySampler
 )
 
 // The four SFI approaches, in the paper's order.
@@ -339,6 +354,21 @@ func WithEarlyStop(target float64) EngineOption { return core.WithEarlyStop(targ
 // WithDecodeValidation toggles the defensive fault-decode cross-check
 // explicitly, overriding the SFI_VALIDATE_DECODE environment gate.
 func WithDecodeValidation(on bool) EngineOption { return core.WithDecodeValidation(on) }
+
+// WithTrace installs a structured trace sink: the engine emits
+// campaign/stratum/shard lifecycle events, early-stop firings, and
+// checkpoint saves through it. Tracing is observability only — the
+// Result is bit-identical with or without a sink.
+func WithTrace(sink TraceSink) EngineOption { return core.WithTrace(sink) }
+
+// AsyncSink decouples a slow ProgressSink from the engine's dispatcher
+// through a buffered channel: non-final events are dropped when the
+// buffer is full (a later snapshot supersedes them), final events never
+// are. Call the returned stop function after Execute returns to drain
+// and release the sink goroutine.
+func AsyncSink(sink ProgressSink, buf int) (ProgressSink, func()) {
+	return core.AsyncSink(sink, buf)
+}
 
 // SaveWeights serializes a network's injectable weights (checksummed
 // binary container).
