@@ -10,6 +10,8 @@
 #                fuzz stage; seed corpora live in testdata/fuzz/)
 #   make trace-smoke  record a tiny traced campaign, replay it with
 #                sfitrace, and diff the summary against its golden
+#   make vuln    scan the module against the Go vulnerability database
+#                (needs network access; CI runs it on every push)
 #   make verify  what CI would run: build + vet + test
 #
 # Override GO to pin a toolchain: `make test GO=go1.22`.
@@ -17,7 +19,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench fuzz-smoke trace-smoke verify
+.PHONY: build test race vet bench fuzz-smoke trace-smoke vuln verify
 
 build:
 	$(GO) build ./...
@@ -56,5 +58,11 @@ trace-smoke:
 	$(GO) run ./cmd/sfitrace -in "$$tmp/run.jsonl" -strip-timing \
 		| diff -u cmd/sfitrace/testdata/trace_smoke.golden -; \
 	echo "trace-smoke: OK"
+
+# govulncheck is fetched on demand (not a module dependency); it needs
+# network access to both proxy.golang.org and vuln.go.dev, so the target
+# is CI-oriented and safe to skip offline.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 verify: build vet test

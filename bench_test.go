@@ -32,6 +32,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"cnnsfi/internal/dataaware"
 	"cnnsfi/internal/faultmodel"
@@ -711,6 +712,57 @@ func BenchmarkEngine_TelemetryOn(b *testing.B) {
 			sfi.WithProgress(prog),
 			sfi.WithProgressInterval(8192),
 		)
+		if _, err := eng.Execute(ctx, o, plan, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine_SupervisionOff prices the engine with campaign
+// supervision disabled — the default, where the supervised() check is a
+// plain field comparison and every experiment runs on the classic
+// allocation-free path. This is the baseline the supervision layer must
+// not move; it should match BenchmarkEngine_TelemetryOff.
+func BenchmarkEngine_SupervisionOff(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	plan := sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sfi.NewEngine(sfi.WithWorkers(1)).Execute(ctx, o, plan, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine_SupervisionOn runs the identical campaign under panic
+// isolation with retries enabled (no watchdog): each experiment executes
+// inside a recover-protected closure. The Off/On ns/op ratio is the cost
+// of supervision on a healthy evaluator.
+func BenchmarkEngine_SupervisionOn(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	plan := sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sfi.NewEngine(sfi.WithWorkers(1), sfi.WithMaxRetries(2))
+		if _, err := eng.Execute(ctx, o, plan, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine_SupervisionWatchdog adds the per-experiment deadline:
+// every experiment is handed to a persistent lane goroutine and raced
+// against a timer, the most expensive supervision configuration.
+func BenchmarkEngine_SupervisionWatchdog(b *testing.B) {
+	_, o, _ := resnetFixture(b)
+	plan := sfi.PlanLayerWise(o.Space(), sfi.DefaultConfig())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sfi.NewEngine(sfi.WithWorkers(1), sfi.WithMaxRetries(2),
+			sfi.WithExperimentTimeout(time.Minute))
 		if _, err := eng.Execute(ctx, o, plan, int64(i)); err != nil {
 			b.Fatal(err)
 		}

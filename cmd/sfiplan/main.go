@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cnnsfi/internal/report"
@@ -20,17 +22,39 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
-	seed := flag.Int64("seed", 1, "weight-generation seed")
-	e := flag.Float64("e", 0.01, "error margin")
-	confidence := flag.Float64("confidence", 0.99, "confidence level")
-	exactZ := flag.Bool("exact-z", false, "use the exact normal quantile instead of the paper's rounded convention (2.58)")
-	flag.Parse()
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind main, parameterised for testing: it
+// parses args, writes the plan tables to stdout and diagnostics to
+// stderr, and returns the process exit code. Bad input yields one
+// actionable line on stderr and exit code 1 — the CLI never panics.
+func run(_ context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfiplan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "resnet20", "model name (resnet20, mobilenetv2, smallcnn)")
+	seed := fs.Int64("seed", 1, "weight-generation seed")
+	e := fs.Float64("e", 0.01, "error margin")
+	confidence := fs.Float64("confidence", 0.99, "confidence level")
+	exactZ := fs.Bool("exact-z", false, "use the exact normal quantile instead of the paper's rounded convention (2.58)")
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error + usage
+	}
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "sfiplan: "+format+"\n", args...)
+		return 1
+	}
+	if *e <= 0 || *e >= 1 {
+		return fail("-e must be inside (0,1) (got %v); the paper uses 0.01", *e)
+	}
+	if *confidence <= 0 || *confidence >= 1 {
+		return fail("-confidence must be inside (0,1) (got %v); the paper uses 0.99", *confidence)
+	}
 
 	net, err := sfi.BuildModel(*model, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fail("unknown model %q; available: %v", *model, sfi.ModelNames())
 	}
 	cfg := sfi.DefaultConfig()
 	cfg.ErrorMargin = *e
@@ -65,11 +89,12 @@ func main() {
 		layer.TotalInjections(),
 		unaware.TotalInjections(),
 		aware.TotalInjections())
-	tab.Render(os.Stdout)
+	tab.Render(stdout)
 
-	fmt.Printf("\nInjected fraction of the population:\n")
-	fmt.Printf("  network-wise  %8s\n", report.Pct(network.InjectedFraction()))
-	fmt.Printf("  layer-wise    %8s\n", report.Pct(layer.InjectedFraction()))
-	fmt.Printf("  data-unaware  %8s\n", report.Pct(unaware.InjectedFraction()))
-	fmt.Printf("  data-aware    %8s\n", report.Pct(aware.InjectedFraction()))
+	fmt.Fprintf(stdout, "\nInjected fraction of the population:\n")
+	fmt.Fprintf(stdout, "  network-wise  %8s\n", report.Pct(network.InjectedFraction()))
+	fmt.Fprintf(stdout, "  layer-wise    %8s\n", report.Pct(layer.InjectedFraction()))
+	fmt.Fprintf(stdout, "  data-unaware  %8s\n", report.Pct(unaware.InjectedFraction()))
+	fmt.Fprintf(stdout, "  data-aware    %8s\n", report.Pct(aware.InjectedFraction()))
+	return 0
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestCLIPlanGolden pins the Table I/II rendering — every plan is a pure
+// function of (model weights, e, confidence), so the output is exact.
+func TestCLIPlanGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"smallcnn_default", []string{"-model", "smallcnn"}, "plan_smallcnn.stdout.golden"},
+		{"smallcnn_exact_z", []string{"-model", "smallcnn", "-e", "0.05", "-confidence", "0.95", "-exact-z"}, "plan_smallcnn_exactz.stdout.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, tc.args...)
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0 (stderr: %q)", code, stderr)
+			}
+			if stderr != "" {
+				t.Errorf("stderr not empty: %q", stderr)
+			}
+			checkGolden(t, tc.golden, stdout)
+		})
+	}
+}
+
+// TestCLIFlagValidation pins the failure modes: exit code 1 and a single
+// "sfiplan: ..." line on stderr.
+func TestCLIFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown_model", []string{"-model", "nosuch"}, "nosuch"},
+		{"bad_margin", []string{"-e", "1.5"}, "-e must be inside (0,1)"},
+		{"bad_confidence", []string{"-confidence", "0"}, "-confidence must be inside (0,1)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("stdout not empty: %q", stdout)
+			}
+			if !strings.HasPrefix(stderr, "sfiplan: ") || strings.Count(stderr, "\n") != 1 {
+				t.Errorf("want a single 'sfiplan: ...' line, got %q", stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCLIBadFlagSyntax(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-e", "lots")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("stdout not empty: %q", stdout)
+	}
+	if !strings.Contains(stderr, "invalid value") {
+		t.Errorf("stderr missing flag error: %q", stderr)
+	}
+}

@@ -63,9 +63,28 @@ func run(_ context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := result.Plan.Config
-	fmt.Fprintf(stdout, "campaign: %s, %s injections over %s faults (e=%.2g%%, confidence %.3g)\n\n",
+	fmt.Fprintf(stdout, "campaign: %s, %s injections over %s faults (e=%.2g%%, confidence %.3g)\n",
 		result.Plan.Approach, report.Comma(result.Injections()),
 		report.Comma(result.Plan.Space.Total()), cfg.ErrorMargin*100, cfg.Confidence)
+	// Supervised campaigns may have excluded draws; every margin below is
+	// already computed over the reduced effective n, but the reader needs
+	// to know the sample shrank and where.
+	if n := len(result.Quarantined); n > 0 {
+		perStratum := map[int]int{}
+		for _, q := range result.Quarantined {
+			perStratum[q.Stratum]++
+		}
+		fmt.Fprintf(stdout, "quarantined: %d draw(s) excluded after exhausting retries across %d strata; margins below are over the reduced n\n",
+			n, len(perStratum))
+		for i, est := range result.Estimates {
+			if k := perStratum[i]; k > 0 {
+				sub := result.Plan.Subpops[i]
+				fmt.Fprintf(stdout, "  stratum %d (layer %d, bit %d): %d quarantined, effective n %d of %d planned, margin %.4f%%\n",
+					i, sub.Layer, sub.Bit, k, est.SampleSize, sub.SampleSize, est.Margin(cfg)*100)
+			}
+		}
+	}
+	fmt.Fprintln(stdout)
 
 	// Layer ranking.
 	ranks := result.RankLayers()

@@ -85,6 +85,43 @@ func TestCLIReportGolden(t *testing.T) {
 	checkGolden(t, "report_smallcnn.stdout.golden", stdout)
 }
 
+// TestCLIQuarantineGolden pins the quarantine surfacing: a supervised
+// campaign's excluded draws are listed per stratum with the effective n
+// and the (inflated) margin over the reduced sample.
+func TestCLIQuarantineGolden(t *testing.T) {
+	f, err := os.Open(savedResult(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sfi.ReadResultJSON(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the healthy fixture into a supervised outcome: two draws
+	// of stratum 0 quarantined, so its effective n shrinks by two.
+	res.Estimates[0].SampleSize -= 2
+	res.Quarantined = []sfi.QuarantinedFault{
+		{Stratum: 0, Index: 3, Fault: "stuck-at-0 layer 0 bit 31 param 7", Attempts: 3, Err: "experiment panicked on attempt 3: index out of range"},
+		{Stratum: 0, Index: 11, Fault: "stuck-at-0 layer 0 bit 31 param 19", Attempts: 3, Err: "experiment exceeded the experiment timeout on attempt 3"},
+	}
+	path := filepath.Join(t.TempDir(), "quarantined.json")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+
+	code, stdout, stderr := runCLI(t, "-in", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %q)", code, stderr)
+	}
+	checkGolden(t, "report_quarantined.stdout.golden", stdout)
+}
+
 // TestCLIFlagValidation pins the failure modes: exit code 1 and a single
 // "sfireport: ..." line on stderr.
 func TestCLIFlagValidation(t *testing.T) {

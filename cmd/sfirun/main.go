@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"cnnsfi/internal/core"
@@ -44,7 +45,9 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is the orderly-shutdown signal containers receive; both it
+	// and Ctrl-C cancel the context so campaigns checkpoint before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	stop()
 	os.Exit(code)
@@ -78,6 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", false, "resume campaigns from existing -checkpoint files")
 	timeout := fs.Duration("timeout", 0, "abort campaigns after this duration (0 = none); with -checkpoint, progress is preserved")
 	earlyStop := fs.Float64("early-stop", -1, "stop each stratum at this achieved margin (0 = the requested -margin; negative = disabled)")
+	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline (0 = none); a timed-out experiment is retried under -max-retries, then quarantined")
+	maxRetries := fs.Int("max-retries", -1, "retries per failing (panicking or timed-out) experiment before quarantine; negative disables campaign supervision entirely")
 	traceFile := fs.String("trace", "", "record structured campaign trace events (JSONL) to this file; replay with sfitrace")
 	traceSummary := fs.Bool("trace-summary", false, "after the campaigns finish, replay the -trace file and print a summary to stderr")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics on /metrics and profiling on /debug/pprof at this address while campaigns run (e.g. localhost:9090)")
@@ -116,6 +121,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *traceSummary && *traceFile == "" {
 		return fail("-trace-summary needs -trace to know which trace to replay")
+	}
+	if *expTimeout < 0 {
+		return fail("-experiment-timeout must be >= 0 (got %v); 0 disables the watchdog", *expTimeout)
 	}
 
 	if !*table3 && !*fig5 && !*fig6 && !*fig7 {
@@ -225,7 +233,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// the message is already on stderr and the process must exit 1.
 	errInterrupted := errors.New("interrupted")
 	runCampaign := func(name string, plan *sfi.Plan, seed int64) (*sfi.Result, error) {
-		opts := []sfi.EngineOption{sfi.WithWorkers(*workers)}
+		opts := []sfi.EngineOption{
+			sfi.WithWorkers(*workers),
+			sfi.WithWarnings(func(msg string) { fmt.Fprintf(stderr, "sfirun: %s: %s\n", name, msg) }),
+		}
+		if *expTimeout > 0 {
+			opts = append(opts, sfi.WithExperimentTimeout(*expTimeout))
+		}
+		if *maxRetries >= 0 {
+			opts = append(opts, sfi.WithMaxRetries(*maxRetries))
+		}
 		if *checkpoint != "" {
 			opts = append(opts, sfi.WithCheckpoint(fmt.Sprintf("%s.%s.ckpt", *checkpoint, name)))
 			if *resume {
@@ -263,7 +280,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				}
 				return nil, errInterrupted
 			}
+			if hint := checkpointHint(err); hint != "" {
+				fmt.Fprintf(stderr, "sfirun: campaign %q: %v\n", name, err)
+				fmt.Fprintf(stderr, "sfirun: %s\n", hint)
+				return nil, errInterrupted // message already printed; exit 1
+			}
 			return nil, fmt.Errorf("campaign %q: %v", name, err)
+		}
+		if n := len(res.Quarantined); n > 0 {
+			fmt.Fprintf(stderr, "sfirun: %s: %d draw(s) quarantined after exhausting retries — excluded from the tally; per-stratum margins are over the reduced n\n",
+				name, n)
 		}
 		if n := len(res.EarlyStopped); n > 0 {
 			fmt.Fprintf(stderr, "sfirun: %s: early stop halted %d/%d strata (%s of %s planned injections)\n",
@@ -369,6 +395,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// checkpointHint maps each checkpoint failure sentinel to one
+// actionable line; empty for non-checkpoint errors.
+func checkpointHint(err error) string {
+	switch {
+	case errors.Is(err, sfi.ErrCheckpointSeed):
+		return "the checkpoint was written with a different -run-seed; rerun with the original seed, or delete the checkpoint file to start this seed fresh"
+	case errors.Is(err, sfi.ErrCheckpointWorkers):
+		return "the checkpoint was written at a different -workers count; rerun with the original worker count, or delete the checkpoint file to restart"
+	case errors.Is(err, sfi.ErrCheckpointVersion):
+		return "the checkpoint was written by an incompatible sfirun version; delete the checkpoint file to restart the campaign"
+	case errors.Is(err, sfi.ErrCheckpointPlan):
+		return "the checkpoint belongs to a different campaign plan (model, margin, confidence, substrate, or approach changed); point -checkpoint elsewhere or delete the file"
+	case errors.Is(err, sfi.ErrCheckpointCorrupt):
+		return "the checkpoint (and its .bak backup, if any) is unreadable; delete the checkpoint files to restart the campaign"
+	}
+	return ""
 }
 
 // composeSinks fans one progress stream out to several sinks, in order.

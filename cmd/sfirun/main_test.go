@@ -11,7 +11,9 @@ import (
 	"strings"
 	"testing"
 
+	"cnnsfi/internal/core"
 	"cnnsfi/internal/telemetry"
+	"cnnsfi/sfi"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -63,6 +65,7 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"inference_needs_smallcnn", []string{"-model", "resnet20", "-substrate", "inference"}},
 		{"fig6_layer_out_of_range", []string{"-model", "smallcnn", "-margin", "0.05", "-fig6", "-layer", "99"}},
 		{"trace_summary_without_trace", []string{"-trace-summary"}},
+		{"negative_experiment_timeout", []string{"-experiment-timeout", "-1s"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -102,9 +105,70 @@ func TestCLIBadFlagSyntax(t *testing.T) {
 	}
 }
 
+// TestCLICheckpointHints pins the actionable one-liner each checkpoint
+// failure sentinel earns: the raw engine error followed by one
+// "sfirun: ..." hint telling the user how to get unstuck. Checkpoint
+// documents are crafted against the real plan fingerprint, so each case
+// trips exactly the validation under test.
+func TestCLICheckpointHints(t *testing.T) {
+	net, err := sfi.BuildModel("smallcnn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sfi.NewOracle(net, sfi.OracleDefaults(3))
+	cfg := sfi.DefaultConfig()
+	cfg.ErrorMargin = 0.05
+	fp := core.PlanFingerprint(sfi.PlanNetworkWise(o.Space(), cfg))
+
+	// A zero crc32 is the documented no-checksum escape hatch, so these
+	// hand-written documents parse cleanly and reach the validation.
+	doc := func(version int, seed int64, fingerprint uint64, workers int) string {
+		return fmt.Sprintf(`{"version":%d,"seed":%d,"plan_fingerprint":%d,"workers":%d,"injections":0,"strata":[]}`,
+			version, seed, fingerprint, workers)
+	}
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"seed", doc(2, 999, fp, 1)},
+		{"workers", doc(2, 0, fp, 7)},
+		{"version", doc(99, 0, fp, 1)},
+		{"plan", doc(2, 0, 1, 1)},
+		{"corrupt", `{"version":`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prefix := filepath.Join(t.TempDir(), "ck")
+			if err := os.WriteFile(prefix+".network-wise.ckpt", []byte(tc.doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			code, stdout, stderr := runCLI(t,
+				"-model", "smallcnn", "-substrate", "oracle", "-margin", "0.05",
+				"-workers", "1", "-checkpoint", prefix, "-resume", "-table3")
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %q)", code, stderr)
+			}
+			if stdout != "" {
+				t.Errorf("stdout not empty: %q", stdout)
+			}
+			var lines []string
+			for _, line := range strings.Split(stderr, "\n") {
+				if strings.HasPrefix(line, "sfirun: ") {
+					lines = append(lines, line)
+				}
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			got = strings.ReplaceAll(got, prefix, "<ckpt>")
+			got = fingerprintRe.ReplaceAllString(got, "<fp>")
+			checkGolden(t, "hint_checkpoint_"+tc.name+".golden", got)
+		})
+	}
+}
+
 var (
-	rateRe    = regexp.MustCompile(`\d[\d,]*(\.\d+)? inj/s`)
-	elapsedRe = regexp.MustCompile(`in \S+ \(`)
+	rateRe        = regexp.MustCompile(`\d[\d,]*(\.\d+)? inj/s`)
+	elapsedRe     = regexp.MustCompile(`in \S+ \(`)
+	fingerprintRe = regexp.MustCompile(`[0-9a-f]{16}`)
 )
 
 // normalizeTiming strips wall-clock-dependent fields (elapsed time,
@@ -123,6 +187,21 @@ func TestCLITable3Golden(t *testing.T) {
 	code, stdout, stderr := runCLI(t,
 		"-model", "smallcnn", "-substrate", "oracle",
 		"-margin", "0.05", "-workers", "1", "-progress", "-table3")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %q)", code, stderr)
+	}
+	checkGolden(t, "table3_oracle.stdout.golden", stdout)
+	checkGolden(t, "table3_oracle.stderr.golden", normalizeTiming(stderr))
+}
+
+// TestCLISupervisedMatchesGolden: switching campaign supervision on
+// (watchdog + retries) over a healthy substrate must not change one
+// output byte — both streams still match the unsupervised goldens.
+func TestCLISupervisedMatchesGolden(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-model", "smallcnn", "-substrate", "oracle",
+		"-margin", "0.05", "-workers", "1", "-progress", "-table3",
+		"-experiment-timeout", "1m", "-max-retries", "2")
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0 (stderr: %q)", code, stderr)
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"os"
 
@@ -10,8 +12,44 @@ import (
 )
 
 // checkpointVersion is bumped whenever the on-disk schema changes
-// incompatibly.
-const checkpointVersion = 1
+// incompatibly. Version 2 added the CRC, the writing worker count, and
+// the supervision tallies (retries + quarantined faults).
+const checkpointVersion = 2
+
+// checkpointBackupSuffix names the rotated previous checkpoint:
+// writeCheckpoint moves the current file to path+".bak" before
+// committing the new one, so a write torn by a crash or a disk that
+// corrupts the primary still leaves one complete older checkpoint to
+// resume from.
+const checkpointBackupSuffix = ".bak"
+
+// Checkpoint mismatch and corruption sentinels. loadCheckpoint wraps
+// each into its contextual error with %w, so callers dispatch with
+// errors.Is to print actionable guidance (cmd/sfirun does exactly
+// that). Corruption is the only class with automatic recovery — the
+// engine falls back to the rotated backup; the mismatch classes mean
+// the checkpoint belongs to a different campaign and no backup can fix
+// that.
+var (
+	// ErrCheckpointCorrupt marks a checkpoint that cannot be trusted:
+	// truncated or malformed JSON, a CRC mismatch, or out-of-range
+	// tallies.
+	ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
+	// ErrCheckpointVersion marks an on-disk schema version this binary
+	// does not speak.
+	ErrCheckpointVersion = errors.New("checkpoint version mismatch")
+	// ErrCheckpointSeed marks a checkpoint written for a different
+	// sampling seed — resuming would splice two different samples.
+	ErrCheckpointSeed = errors.New("checkpoint seed mismatch")
+	// ErrCheckpointPlan marks a checkpoint whose plan fingerprint (or
+	// stratum count) does not match the campaign being resumed.
+	ErrCheckpointPlan = errors.New("checkpoint plan mismatch")
+	// ErrCheckpointWorkers marks a checkpoint written at a different
+	// worker count: cursors sit on shard boundaries of the writing
+	// count, so resuming at another count would re-split the sample
+	// differently.
+	ErrCheckpointWorkers = errors.New("checkpoint worker-count mismatch")
+)
 
 // checkpointStratum is one stratum's persisted tally: how many draws of
 // its sample (a pure function of plan + seed) have been evaluated, and
@@ -29,11 +67,21 @@ type checkpointStratum struct {
 // The fingerprint binds it to one exact plan (approach, config, space,
 // strata) and the seed to one exact sample, so a checkpoint can never be
 // silently resumed against a different campaign.
+//
+// Checksum is the IEEE CRC-32 of the document marshalled with Checksum
+// itself zeroed (json.Marshal is deterministic — sorted map keys,
+// shortest-round-trip floats — so the re-marshal on load reproduces the
+// exact bytes). Zero means "no checksum": the 1-in-2^32 honest zero and
+// hand-written test documents both verify trivially.
 type checkpointDoc struct {
+	Checksum    uint32              `json:"crc32,omitempty"`
 	Version     int                 `json:"version"`
 	Seed        int64               `json:"seed"`
 	Fingerprint uint64              `json:"plan_fingerprint"`
+	Workers     int                 `json:"workers"`
 	Injections  int64               `json:"injections"`
+	Retries     int64               `json:"retries,omitempty"`
+	Quarantined []QuarantinedFault  `json:"quarantined,omitempty"`
 	Strata      []checkpointStratum `json:"strata"`
 }
 
@@ -51,14 +99,25 @@ func planFingerprint(plan *Plan) uint64 {
 	return h.Sum64()
 }
 
-// writeCheckpoint atomically persists the current per-stratum prefix
-// tallies (write to a temp file, then rename).
+// PlanFingerprint is the hash the checkpoint schema uses to bind a
+// checkpoint to one exact plan. It is exported so tooling and tests can
+// construct or inspect checkpoint documents that the engine will accept.
+func PlanFingerprint(plan *Plan) uint64 { return planFingerprint(plan) }
+
+// writeCheckpoint persists the current per-stratum prefix tallies
+// crash-safely: marshal with an embedded CRC, write to a temp file,
+// rotate any existing checkpoint to the .bak backup, then rename the
+// temp file into place. At every instant at least one complete,
+// CRC-verifiable checkpoint exists on disk.
 func (x *execution) writeCheckpoint(path string) error {
 	doc := checkpointDoc{
 		Version:     checkpointVersion,
 		Seed:        x.seed,
 		Fingerprint: planFingerprint(x.plan),
+		Workers:     x.workers,
 		Injections:  x.merged,
+		Retries:     x.retries,
+		Quarantined: x.quarantined,
 		Strata:      make([]checkpointStratum, len(x.strata)),
 	}
 	for i, st := range x.strata {
@@ -71,6 +130,11 @@ func (x *execution) writeCheckpoint(path string) error {
 		}
 		doc.Strata[i] = cs
 	}
+	body, err := json.Marshal(doc) // Checksum zero: the bytes the CRC covers
+	if err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	doc.Checksum = crc32.ChecksumIEEE(body)
 	data, err := json.Marshal(doc)
 	if err != nil {
 		return fmt.Errorf("core: encoding checkpoint: %w", err)
@@ -79,6 +143,11 @@ func (x *execution) writeCheckpoint(path string) error {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("core: writing checkpoint: %w", err)
 	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+checkpointBackupSuffix); err != nil {
+			return fmt.Errorf("core: rotating checkpoint backup: %w", err)
+		}
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("core: committing checkpoint: %w", err)
 	}
@@ -86,42 +155,114 @@ func (x *execution) writeCheckpoint(path string) error {
 }
 
 // loadCheckpoint restores per-stratum tallies from a checkpoint written
-// for the same plan and seed. A missing file is not an error — the
-// campaign simply starts fresh, which makes resume-or-start idempotent
-// for callers.
+// for the same plan, seed, and worker count. A missing file is not an
+// error — the campaign simply starts fresh, which makes resume-or-start
+// idempotent for callers. A corrupt (truncated, malformed, CRC-failing)
+// primary falls back to the rotated .bak backup with a one-line
+// warning; mismatch errors never fall back, because the backup was
+// written by the same campaign and would fail identically.
 func (x *execution) loadCheckpoint(path string) error {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil
+	bak := path + checkpointBackupSuffix
+	src := path
+	doc, err := readCheckpointDoc(path)
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		// No primary: a crash between writeCheckpoint's two renames
+		// leaves only the rotated backup — resume from it rather than
+		// silently restarting a multi-hour campaign from zero.
+		doc, err = readCheckpointDoc(bak)
+		if os.IsNotExist(err) {
+			return nil // no checkpoint at all: fresh start
+		}
+		if err != nil {
+			return err
+		}
+		src = bak
+		x.warnf("checkpoint %s missing; resuming from backup %s", path, bak)
+	case errors.Is(err, ErrCheckpointCorrupt):
+		primaryErr := err
+		doc, err = readCheckpointDoc(bak)
+		if err != nil {
+			return primaryErr // no usable backup: report the primary's corruption
+		}
+		src = bak
+		x.warnf("checkpoint %s unreadable (%v); resuming from backup %s", path, primaryErr, bak)
+	default:
+		return err
 	}
+	return x.applyCheckpoint(src, doc)
+}
+
+// readCheckpointDoc reads and CRC-verifies one checkpoint file without
+// touching any run state. It returns the raw os.IsNotExist error for a
+// missing file so loadCheckpoint can distinguish "absent" from
+// "unreadable".
+func readCheckpointDoc(path string) (*checkpointDoc, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("core: reading checkpoint: %w", err)
+		if os.IsNotExist(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
 	}
 	var doc checkpointDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("core: decoding checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("core: checkpoint %s: %w: %v", path, ErrCheckpointCorrupt, err)
 	}
+	if doc.Checksum != 0 {
+		want := doc.Checksum
+		doc.Checksum = 0
+		body, err := json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint %s: re-encoding for CRC: %w", path, err)
+		}
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return nil, fmt.Errorf("core: checkpoint %s: %w: crc32 %08x, want %08x",
+				path, ErrCheckpointCorrupt, got, want)
+		}
+	}
+	return &doc, nil
+}
+
+// applyCheckpoint validates the document against the running campaign
+// and only then folds it into the run state — a rejected checkpoint
+// leaves the execution untouched.
+func (x *execution) applyCheckpoint(src string, doc *checkpointDoc) error {
 	if doc.Version != checkpointVersion {
-		return fmt.Errorf("core: checkpoint %s has version %d (want %d)", path, doc.Version, checkpointVersion)
+		return fmt.Errorf("core: checkpoint %s: %w: version %d, want %d",
+			src, ErrCheckpointVersion, doc.Version, checkpointVersion)
 	}
 	if doc.Seed != x.seed {
-		return fmt.Errorf("core: checkpoint %s was written for seed %d, not %d — resuming would break bit-identity",
-			path, doc.Seed, x.seed)
+		return fmt.Errorf("core: checkpoint %s: %w: written for seed %d, not %d — resuming would break bit-identity",
+			src, ErrCheckpointSeed, doc.Seed, x.seed)
 	}
 	if got, want := doc.Fingerprint, planFingerprint(x.plan); got != want {
-		return fmt.Errorf("core: checkpoint %s belongs to a different plan (fingerprint %x, want %x)",
-			path, got, want)
+		return fmt.Errorf("core: checkpoint %s: %w: fingerprint %016x, want %016x",
+			src, ErrCheckpointPlan, got, want)
+	}
+	if doc.Workers != x.workers {
+		return fmt.Errorf("core: checkpoint %s: %w: written at %d workers, resuming at %d — cursors sit on shard boundaries of the writing count",
+			src, ErrCheckpointWorkers, doc.Workers, x.workers)
 	}
 	if len(doc.Strata) != len(x.strata) {
-		return fmt.Errorf("core: checkpoint %s has %d strata for a %d-stratum plan",
-			path, len(doc.Strata), len(x.strata))
+		return fmt.Errorf("core: checkpoint %s: %w: %d strata for a %d-stratum plan",
+			src, ErrCheckpointPlan, len(doc.Strata), len(x.strata))
 	}
 	for i, cs := range doc.Strata {
 		sub := x.plan.Subpops[i]
 		if cs.Cursor < 0 || cs.Cursor > sub.SampleSize {
-			return fmt.Errorf("core: checkpoint %s stratum %d cursor %d outside [0, %d]",
-				path, i, cs.Cursor, sub.SampleSize)
+			return fmt.Errorf("core: checkpoint %s: %w: stratum %d cursor %d outside [0, %d]",
+				src, ErrCheckpointCorrupt, i, cs.Cursor, sub.SampleSize)
 		}
+	}
+	for _, q := range doc.Quarantined {
+		if q.Stratum < 0 || q.Stratum >= len(x.strata) {
+			return fmt.Errorf("core: checkpoint %s: %w: quarantined fault in stratum %d of a %d-stratum plan",
+				src, ErrCheckpointCorrupt, q.Stratum, len(x.strata))
+		}
+	}
+	for i, cs := range doc.Strata {
 		st := x.strata[i]
 		st.cursor = cs.Cursor
 		st.successes = cs.Successes
@@ -136,6 +277,11 @@ func (x *execution) loadCheckpoint(path string) error {
 		x.merged += cs.Cursor
 		x.critical += cs.Successes
 	}
+	for _, q := range doc.Quarantined {
+		x.strata[q.Stratum].quarantined++
+	}
+	x.quarantined = append(x.quarantined, doc.Quarantined...)
+	x.retries = doc.Retries
 	x.restored = x.merged
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,6 +42,14 @@ type Engine struct {
 	earlyStopTarget float64
 	validate        bool
 	trace           TraceSink
+
+	// Supervision (see supervise.go): expTimeout > 0 or maxRetries >= 0
+	// enables per-experiment panic isolation, the watchdog, bounded
+	// retries, and quarantine. maxRetries < 0 (the default) leaves the
+	// classic unsupervised hot path untouched.
+	expTimeout time.Duration
+	maxRetries int
+	warn       func(msg string)
 }
 
 // Option configures an Engine (functional options).
@@ -112,6 +121,7 @@ func NewEngine(opts ...Option) *Engine {
 		progressEvery:   10_000,
 		checkpointEvery: 100_000,
 		validate:        validateDecode,
+		maxRetries:      -1, // supervision off
 	}
 	for _, o := range opts {
 		o(e)
@@ -134,16 +144,21 @@ type stratumState struct {
 	successes int64
 	perLayer  map[int]*stats.ProportionEstimate
 	stopped   bool
+	// quarantined counts draws within cursor that were excluded from
+	// the tally by supervision; the stratum's effective sample size is
+	// cursor - quarantined.
+	quarantined int64
 }
 
 // execution is the per-Execute run state (the Engine itself stays
 // immutable and reusable).
 type execution struct {
-	engine *Engine
-	plan   *Plan
-	space  faultmodel.Space
-	seed   int64
-	start  time.Time
+	engine  *Engine
+	plan    *Plan
+	space   faultmodel.Space
+	seed    int64
+	start   time.Time
+	workers int
 
 	strata []*stratumState
 	shards []*shard
@@ -151,10 +166,17 @@ type execution struct {
 	pos    []int   // per stratum: next order entry awaiting merge
 	done   []bool  // per shard: evaluated
 
-	merged      int64 // tallied injections, campaign-wide (incl. restored)
-	restored    int64 // tallied injections loaded from the checkpoint
+	merged      int64 // merged injections, campaign-wide (incl. restored + quarantined)
+	restored    int64 // merged injections loaded from the checkpoint
 	critical    int64 // tallied criticals, campaign-wide
 	lastStratum int   // stratum whose prefix advanced most recently
+
+	// Supervision bookkeeping (nil/zero when supervision is off): the
+	// shared supervisor, every quarantined fault in merge order (sorted
+	// into Result.Quarantined at assemble), and the retry tally.
+	sup         *supervisor
+	quarantined []QuarantinedFault
+	retries     int64
 
 	sinceProgress   int64
 	sinceCheckpoint int64
@@ -194,6 +216,9 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 			return nil, fmt.Errorf("core: engine: early-stop target %v outside [0, 1)", e.earlyStopTarget)
 		}
 	}
+	if e.expTimeout < 0 {
+		return nil, fmt.Errorf("core: engine: negative experiment timeout %v", e.expTimeout)
+	}
 	workers := e.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -205,8 +230,12 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		space:       ev.Space(),
 		seed:        seed,
 		start:       time.Now(),
+		workers:     workers,
 		strata:      make([]*stratumState, len(plan.Subpops)),
 		lastStratum: -1,
+	}
+	if e.supervised() {
+		x.sup = newSupervisor(e, ev)
 	}
 	if r, ok := ev.(StatsReporter); ok {
 		x.reporter = r
@@ -290,6 +319,13 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		wg.Add(1)
 		go func(w int, ev Evaluator) {
 			defer wg.Done()
+			// Supervision enabled is the one branch per shard; disabled
+			// campaigns stay on the classic evaluate hot path.
+			var sw *supWorker
+			if x.sup != nil {
+				sw = &supWorker{sup: x.sup, ev: ev}
+				defer sw.close()
+			}
 			for k := range jobs {
 				// Cooperative cancellation, checked at shard boundaries:
 				// a cancelled worker reports the shard back unevaluated.
@@ -298,7 +334,11 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 					continue
 				}
 				t0 := time.Now()
-				x.shards[k].evaluate(ev, x.space, plan, e.validate)
+				if sw != nil {
+					sw.evaluateShard(x.shards[k], x.space, plan, e.validate)
+				} else {
+					x.shards[k].evaluate(ev, x.space, plan, e.validate)
+				}
 				results <- completion{shard: k, evaluated: true, worker: w, dur: time.Since(t0)}
 			}
 		}(w, evals[w])
@@ -372,7 +412,10 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		return res, runErr
 	}
 	if e.checkpointPath != "" {
-		os.Remove(e.checkpointPath) // campaign complete; drop stale state
+		// Campaign complete: drop stale state, including the rotated
+		// backup (see writeCheckpoint).
+		os.Remove(e.checkpointPath)
+		os.Remove(e.checkpointPath + checkpointBackupSuffix)
 	}
 	x.emitProgress(true)
 	x.traceCampaignEnd(res)
@@ -388,6 +431,8 @@ func (x *execution) traceCampaignEnd(res *Result) {
 		ev.Planned = x.plan.TotalInjections()
 		ev.Partial = res.Partial
 		ev.EarlyStopped = len(res.EarlyStopped)
+		ev.Retries = x.retries
+		ev.Quarantined = int64(len(x.quarantined))
 		ev.Eval = x.evalSnapshot()
 		if secs := ev.Elapsed.Seconds(); secs > 0 {
 			ev.Rate = float64(x.merged-x.restored) / secs
@@ -413,10 +458,41 @@ func (x *execution) handleCompletion(k int) {
 }
 
 // mergeShard folds one evaluated shard into its stratum's prefix tally.
+// Quarantined draws advance the cursor (their positions are consumed)
+// but never the success or per-layer tallies; retry/quarantine trace
+// events are emitted here, in draw order, from the dispatcher.
 func (x *execution) mergeShard(s *shard) {
 	st := x.strata[s.stratum]
 	st.cursor += int64(len(s.idx))
 	st.successes += s.successes
+	if s.retries > 0 {
+		x.retries += s.retries
+		for i := range s.retried {
+			r := &s.retried[i]
+			x.emitTrace(TraceExperimentRetry, func(ev *TraceEvent) {
+				ev.Stratum = s.stratum
+				ev.Draw = r.index
+				ev.Fault = r.fault
+				ev.Attempts = r.failures
+				ev.Err = r.err
+			})
+		}
+	}
+	if len(s.quarantined) > 0 {
+		st.quarantined += int64(len(s.quarantined))
+		x.quarantined = append(x.quarantined, s.quarantined...)
+		for i := range s.quarantined {
+			q := &s.quarantined[i]
+			x.warnf("quarantined after %d attempt(s): %s", q.Attempts, q.Err)
+			x.emitTrace(TraceExperimentQuarantined, func(ev *TraceEvent) {
+				ev.Stratum = q.Stratum
+				ev.Draw = q.Index
+				ev.Fault = q.Fault
+				ev.Attempts = q.Attempts
+				ev.Err = q.Err
+			})
+		}
+	}
 	for l, pl := range s.perLayer {
 		agg := st.perLayer[l]
 		if agg == nil {
@@ -446,19 +522,23 @@ func (x *execution) checkEarlyStop(i int) {
 	}
 	st := x.strata[i]
 	sub := x.plan.Subpops[i]
-	if st.stopped || st.cursor < earlyStopMinSample || st.cursor >= sub.SampleSize {
+	// eff is the effective sample size: quarantined draws carry no
+	// verdict, so both the stop rule and the reported margin run over
+	// the reduced n.
+	eff := st.cursor - st.quarantined
+	if st.stopped || eff < earlyStopMinSample || st.cursor >= sub.SampleSize {
 		return
 	}
 	target := e.earlyStopTarget
 	if target == 0 {
 		target = x.plan.Config.ErrorMargin
 	}
-	pHat := float64(st.successes) / float64(st.cursor)
-	if m := x.plan.Config.ObservedMargin(pHat, st.cursor, sub.Population); m <= target {
+	pHat := float64(st.successes) / float64(eff)
+	if m := x.plan.Config.ObservedMargin(pHat, eff, sub.Population); m <= target {
 		st.stopped = true
 		x.emitTrace(TraceEarlyStop, func(ev *TraceEvent) {
 			ev.Stratum = i
-			ev.Done = st.cursor
+			ev.Done = eff
 			ev.Critical = st.successes
 			ev.Margin = m
 		})
@@ -497,12 +577,14 @@ func (x *execution) emitProgress(final bool) {
 		return
 	}
 	p := Progress{
-		Done:     x.merged,
-		Planned:  x.plan.TotalInjections(),
-		Critical: x.critical,
-		Stratum:  x.lastStratum,
-		Elapsed:  time.Since(x.start),
-		Final:    final,
+		Done:        x.merged,
+		Planned:     x.plan.TotalInjections(),
+		Critical:    x.critical,
+		Stratum:     x.lastStratum,
+		Elapsed:     time.Since(x.start),
+		Final:       final,
+		Retries:     x.retries,
+		Quarantined: int64(len(x.quarantined)),
 	}
 	if x.lastStratum >= 0 {
 		p.StratumDone = x.strata[x.lastStratum].cursor
@@ -524,9 +606,12 @@ func (x *execution) assemble(aborted bool) *Result {
 	res := &Result{Plan: x.plan, Partial: aborted}
 	for i, sub := range x.plan.Subpops {
 		st := x.strata[i]
+		// SampleSize is the effective n (quarantined draws excluded), so
+		// every downstream margin — Estimate.Margin, Compare, sfireport —
+		// is automatically the stats.ObservedMargin over the reduced n.
 		res.Estimates = append(res.Estimates, stats.ProportionEstimate{
 			Successes:      st.successes,
-			SampleSize:     st.cursor,
+			SampleSize:     st.cursor - st.quarantined,
 			PopulationSize: sub.Population,
 			PlannedP:       sub.P,
 		})
@@ -551,7 +636,33 @@ func (x *execution) assemble(aborted bool) *Result {
 			}
 		}
 	}
+	if len(x.quarantined) > 0 {
+		// Merge order across strata is scheduling-dependent; the sorted
+		// copy makes Result.Quarantined a pure function of (plan, seed)
+		// whenever failures are, regardless of worker count.
+		q := make([]QuarantinedFault, len(x.quarantined))
+		copy(q, x.quarantined)
+		sort.Slice(q, func(i, j int) bool {
+			if q[i].Stratum != q[j].Stratum {
+				return q[i].Stratum < q[j].Stratum
+			}
+			return q[i].Index < q[j].Index
+		})
+		res.Quarantined = q
+	}
 	return res
+}
+
+// warnf delivers a one-line operational warning through the WithWarnings
+// sink, or to stderr without one. Warnings are rare (checkpoint
+// recovery, quarantine) — never per-experiment hot-path events.
+func (x *execution) warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if x.engine.warn != nil {
+		x.engine.warn(msg)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "core: %s\n", msg)
 }
 
 // shardOversubscription sets how many shards each worker receives on
@@ -571,6 +682,12 @@ type shard struct {
 	// perLayer collects the per-layer slices of a network-wise stratum's
 	// global sample (nil for layer- or bit-granular strata).
 	perLayer map[int]*stats.ProportionEstimate
+	// Supervision outcomes (supervised campaigns only): faults excluded
+	// after exhausting retries, experiments that needed retries, and the
+	// total failed-attempt count. Folded in by mergeShard.
+	quarantined []QuarantinedFault
+	retried     []retryRecord
+	retries     int64
 }
 
 // makeShards splits every stratum's sample into contiguous chunks of

@@ -37,6 +37,13 @@ type Progress struct {
 	// Final marks the last event of the run (emitted on completion,
 	// early-stop exhaustion, and cancellation alike).
 	Final bool
+	// Retries counts failed experiment attempts that were re-run under
+	// supervision; Quarantined counts draws excluded from the tally
+	// after exhausting their retry budget. Done includes quarantined
+	// draws — their position in the sample is consumed even though they
+	// carry no verdict. Both stay zero on unsupervised campaigns.
+	Retries     int64
+	Quarantined int64
 	// Eval breaks down how the evaluator resolved this campaign's
 	// experiments, when the evaluator implements StatsReporter (zero
 	// otherwise). The monotone counters (Skipped, Evaluated, EarlyExits)

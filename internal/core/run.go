@@ -51,6 +51,14 @@ type Result struct {
 	// actual sample sizes are in Estimates, the planned ones in the
 	// Plan.
 	EarlyStopped []int `json:",omitempty"`
+	// Quarantined lists the draws a supervised campaign excluded after
+	// exhausting their retry budget, sorted by (stratum, draw index) so
+	// the list is deterministic across worker counts. Each quarantined
+	// draw is already subtracted from its stratum's Estimates SampleSize
+	// — the effective n — so Estimate.Margin and every downstream
+	// consumer automatically report the inflated margin of the reduced
+	// sample. Empty (omitted from JSON) on unsupervised or healthy runs.
+	Quarantined []QuarantinedFault `json:",omitempty"`
 }
 
 // Run draws each stratum's sample without replacement and evaluates it

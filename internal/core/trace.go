@@ -25,6 +25,16 @@ const (
 	// the worker-assignment record — shard→worker mapping is scheduling-
 	// dependent and deliberately outside the determinism guarantee.
 	TraceShardDone
+	// TraceExperimentRetry records one experiment that failed (panic or
+	// watchdog timeout) and then succeeded on a retry: the fault
+	// identity, how many attempts failed first, and the last failure.
+	// Emitted at merge time, in draw order within each stratum.
+	TraceExperimentRetry
+	// TraceExperimentQuarantined records one experiment excluded from
+	// the tally after exhausting its retry budget. The stratum's
+	// effective sample size shrinks by one and its achieved margin is
+	// recomputed over the reduced n.
+	TraceExperimentQuarantined
 	// TraceStratumEnd marks a stratum's tally becoming final for this
 	// run: every shard merged in draw order, or an early stop.
 	TraceStratumEnd
@@ -49,6 +59,10 @@ func (k TraceKind) String() string {
 		return "stratum_start"
 	case TraceShardDone:
 		return "shard_done"
+	case TraceExperimentRetry:
+		return "experiment_retry"
+	case TraceExperimentQuarantined:
+		return "experiment_quarantined"
 	case TraceStratumEnd:
 		return "stratum_end"
 	case TraceEarlyStop:
@@ -70,11 +84,14 @@ func (k TraceKind) String() string {
 //	TraceCampaignStart  Seed, Fingerprint, Workers, Planned, Restored, Strata
 //	TraceStratumStart   Stratum, Layer, Bit, StratumPlanned, Done (restored prefix)
 //	TraceShardDone      Stratum, Shard, Worker, Injections (shard size), Dur
+//	TraceExperimentRetry        Stratum, Draw, Fault, Attempts (failed), Err
+//	TraceExperimentQuarantined  Stratum, Draw, Fault, Attempts, Err
 //	TraceStratumEnd     Stratum, Layer, Bit, StratumPlanned, Done, Critical,
 //	                    Dur (stratum wall time), Eval (campaign-wide snapshot)
-//	TraceEarlyStop      Stratum, Done (tallied n), Critical, Margin
+//	TraceEarlyStop      Stratum, Done (tallied effective n), Critical, Margin
 //	TraceCheckpoint     Path, Done, Critical
-//	TraceCampaignEnd    Done, Critical, Planned, Rate, Partial, EarlyStopped, Eval
+//	TraceCampaignEnd    Done, Critical, Planned, Rate, Partial, EarlyStopped,
+//	                    Retries, Quarantined, Eval
 type TraceEvent struct {
 	// Kind discriminates the event.
 	Kind TraceKind
@@ -121,6 +138,21 @@ type TraceEvent struct {
 	// stratum wall time from first dispatch to final merge
 	// (TraceStratumEnd).
 	Dur time.Duration
+
+	// Draw is the failing experiment's index within its stratum's drawn
+	// sample (experiment_retry / experiment_quarantined); Fault its
+	// rendered identity ("" when the failure preceded decoding);
+	// Attempts the failed-attempt count and Err the last failure,
+	// rendered.
+	Draw     int64
+	Fault    string
+	Attempts int
+	Err      string
+
+	// Retries / Quarantined are the campaign-wide supervision tallies
+	// (TraceCampaignEnd).
+	Retries     int64
+	Quarantined int64
 
 	// Margin is the achieved margin that fired an early stop.
 	Margin float64

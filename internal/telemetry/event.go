@@ -35,13 +35,16 @@ import (
 //	campaign_start  campaign, seed, fingerprint, workers, planned, restored, strata
 //	stratum_start   campaign, stratum, layer, bit, stratum_planned, done (restored prefix)
 //	shard_done      campaign, stratum, shard, worker, injections, dur_ns
+//	experiment_retry        campaign, stratum, draw, fault, attempts, error
+//	experiment_quarantined  campaign, stratum, draw, fault, attempts, error
 //	stratum_end     campaign, stratum, layer, bit, stratum_planned, done, critical,
 //	                dur_ns, eval_*
 //	early_stop      campaign, stratum, done, critical, margin
 //	checkpoint      campaign, path, done, critical
-//	campaign_end    campaign, done, critical, planned, rate, partial, early_stopped, eval_*
+//	campaign_end    campaign, done, critical, planned, rate, partial, early_stopped,
+//	                retries, quarantined, eval_*
 //	progress        campaign, done, planned, critical, stratum, stratum_done,
-//	                stratum_planned, rate, final, eval_*
+//	                stratum_planned, rate, final, retries, quarantined, eval_*
 //	drops           dropped (appended by Tracer.Close when events were lost)
 //
 // Every kind also carries time_unix_nano and (except drops) elapsed_ns.
@@ -80,6 +83,17 @@ type Event struct {
 	Critical   int64 `json:"critical,omitempty"`
 	Injections int64 `json:"injections,omitempty"`
 	DurNS      int64 `json:"dur_ns,omitempty"`
+
+	// Supervision fields (experiment_retry / experiment_quarantined,
+	// plus the campaign-wide retries/quarantined tallies on campaign_end
+	// and progress). All omitted when zero so healthy-campaign traces
+	// are byte-identical with and without supervision enabled.
+	Draw        int64  `json:"draw,omitempty"`
+	Fault       string `json:"fault,omitempty"`
+	Attempts    int    `json:"attempts,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Retries     int64  `json:"retries,omitempty"`
+	Quarantined int64  `json:"quarantined,omitempty"`
 
 	Margin float64 `json:"margin,omitempty"`
 	Rate   float64 `json:"rate,omitempty"`
@@ -150,6 +164,12 @@ func FromTrace(campaign string, ev core.TraceEvent) Event {
 	e.Critical = ev.Critical
 	e.Injections = ev.Injections
 	e.DurNS = int64(ev.Dur)
+	e.Draw = ev.Draw
+	e.Fault = ev.Fault
+	e.Attempts = ev.Attempts
+	e.Error = ev.Err
+	e.Retries = ev.Retries
+	e.Quarantined = ev.Quarantined
 	e.Margin = ev.Margin
 	e.Rate = ev.Rate
 	e.Partial = ev.Partial
@@ -173,6 +193,8 @@ func FromProgress(campaign string, p core.Progress) Event {
 	e.StratumPlanned = p.StratumPlanned
 	e.Rate = p.Rate
 	e.Final = p.Final
+	e.Retries = p.Retries
+	e.Quarantined = p.Quarantined
 	e.setEval(p.Eval)
 	return e
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"cnnsfi/internal/evalstats"
@@ -21,6 +22,10 @@ type StratumSummary struct {
 	Dur                 time.Duration
 	EarlyStopped        bool
 	Margin              float64 // achieved margin, when early-stopped
+	// Retried / Quarantined count the stratum's experiment_retry and
+	// experiment_quarantined events (supervised campaigns only).
+	Retried     int64
+	Quarantined int64
 }
 
 // CampaignSummary aggregates every event of one labelled campaign.
@@ -45,6 +50,10 @@ type CampaignSummary struct {
 	Partial      bool
 	EarlyStopped int
 	Eval         evalstats.EvalStats
+	// Retries / Quarantined are the campaign-wide supervision tallies
+	// (zero on unsupervised or healthy campaigns).
+	Retries     int64
+	Quarantined int64
 
 	Checkpoints int
 	ShardsDone  int
@@ -71,12 +80,19 @@ type Summary struct {
 	Events int
 }
 
+// maxTraceLine bounds a single JSONL trace line. Quarantine events
+// embed rendered panic values and checkpoint events embed paths, so a
+// line can far exceed bufio.Scanner's 64KB default; 16MB is orders of
+// magnitude above any event the schema can produce while still bounding
+// a corrupt newline-free file.
+const maxTraceLine = 16 << 20
+
 // ReadTrace parses a JSONL trace stream strictly (every line must
 // round-trip through the Event schema; see ParseEvent). Blank lines are
 // permitted.
 func ReadTrace(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTraceLine)
 	var events []Event
 	line := 0
 	for sc.Scan() {
@@ -144,6 +160,10 @@ func Summarize(events []Event) *Summary {
 			c.ShardsDone++
 			c.WorkerBusy[ev.Worker] += time.Duration(ev.DurNS)
 			stratum(c, ev).Shards++
+		case "experiment_retry":
+			stratum(c, ev).Retried++
+		case "experiment_quarantined":
+			stratum(c, ev).Quarantined++
 		case "stratum_end":
 			st := stratum(c, ev)
 			st.Layer = ev.Layer
@@ -166,6 +186,8 @@ func Summarize(events []Event) *Summary {
 			c.Rate = ev.Rate
 			c.Partial = ev.Partial
 			c.EarlyStopped = ev.EarlyStopped
+			c.Retries = ev.Retries
+			c.Quarantined = ev.Quarantined
 			c.Eval = ev.Eval()
 		case KindProgress:
 			if ev.Final {
@@ -175,6 +197,8 @@ func Summarize(events []Event) *Summary {
 				c.Done = ev.Done
 				c.Critical = ev.Critical
 				c.Elapsed = time.Duration(ev.ElapsedNS)
+				c.Retries = ev.Retries
+				c.Quarantined = ev.Quarantined
 			}
 		}
 	}
@@ -223,15 +247,24 @@ func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
 		}
 		fmt.Fprintf(w, "  strata: %d planned, %d early-stopped; %d shards, %d checkpoints\n",
 			c.NumStrata, c.EarlyStopped, c.ShardsDone, c.Checkpoints)
+		// Rendered only for supervised campaigns that actually retried or
+		// quarantined work, so healthy-campaign goldens stay byte-stable.
+		if c.Retries > 0 || c.Quarantined > 0 {
+			fmt.Fprintf(w, "  supervision: %s failed attempts retried, %s draws quarantined (excluded from the tally)\n",
+				report.Comma(c.Retries), report.Comma(c.Quarantined))
+		}
 
 		if len(c.Strata) > 0 {
 			t := report.NewTable("", "stratum", "layer", "bit", "planned", "done", "critical", "shards", "wall", "note")
 			for _, st := range c.Strata {
-				note := ""
+				var notes []string
 				if st.EarlyStopped {
-					note = fmt.Sprintf("early stop @ margin %.4f", st.Margin)
+					notes = append(notes, fmt.Sprintf("early stop @ margin %.4f", st.Margin))
 				}
-				t.AddRow(st.Stratum, st.Layer, st.Bit, st.Planned, st.Done, st.Critical, st.Shards, dur(st.Dur), note)
+				if st.Quarantined > 0 {
+					notes = append(notes, fmt.Sprintf("%d quarantined (margin over reduced n)", st.Quarantined))
+				}
+				t.AddRow(st.Stratum, st.Layer, st.Bit, st.Planned, st.Done, st.Critical, st.Shards, dur(st.Dur), strings.Join(notes, "; "))
 			}
 			t.Render(w)
 		}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"cnnsfi/internal/core"
+)
+
+// TestReadTraceHugeLine is the regression test for the bufio.Scanner
+// default 64KB line cap: a quarantine event embedding a megabyte-scale
+// rendered panic value must survive the trace round trip instead of
+// failing with bufio.ErrTooLong.
+func TestReadTraceHugeLine(t *testing.T) {
+	hugeErr := strings.Repeat("stack frame / ", 1<<17) // ~1.8MB, well past 64KB
+	events := []Event{
+		FromTrace("big", core.TraceEvent{
+			Kind: core.TraceCampaignStart, Time: time.Unix(0, 1), Seed: 7, Workers: 1,
+		}),
+		FromTrace("big", core.TraceEvent{
+			Kind: core.TraceExperimentQuarantined, Time: time.Unix(0, 2),
+			Stratum: 0, Draw: 3, Fault: "L0.w1.b30.sa1", Attempts: 3, Err: hugeErr,
+		}),
+	}
+	var buf bytes.Buffer
+	for _, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == "experiment_quarantined" && len(line) <= 64*1024 {
+			t.Fatalf("test line only %d bytes; below the scanner default this test must exceed", len(line))
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace choked on a long line: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	if got[1].Error != hugeErr {
+		t.Errorf("huge error field did not round-trip (%d bytes back, want %d)", len(got[1].Error), len(hugeErr))
+	}
+}
+
+// TestSummarizeSupervision replays a synthetic supervised trace: retry
+// and quarantine events land in the per-stratum tallies, the
+// campaign_end totals surface on the summary, and the report renders
+// the supervision lines (which stay absent for healthy campaigns, so
+// the existing goldens cannot cover them).
+func TestSummarizeSupervision(t *testing.T) {
+	mk := func(kind core.TraceKind, stratum int, draw int64) Event {
+		return FromTrace("sup", core.TraceEvent{
+			Kind: kind, Time: time.Unix(0, 1), Stratum: stratum, Draw: draw,
+			Fault: "L0.w1.b30.sa1", Attempts: 2, Err: "experiment panicked on attempt 2: boom",
+		})
+	}
+	events := []Event{
+		FromTrace("sup", core.TraceEvent{Kind: core.TraceCampaignStart, Time: time.Unix(0, 1), Planned: 100, Strata: 2}),
+		mk(core.TraceExperimentRetry, 0, 3),
+		mk(core.TraceExperimentRetry, 1, 9),
+		mk(core.TraceExperimentQuarantined, 1, 9),
+		FromTrace("sup", core.TraceEvent{
+			Kind: core.TraceCampaignEnd, Time: time.Unix(0, 2),
+			Done: 99, Critical: 4, Retries: 3, Quarantined: 1,
+		}),
+	}
+	sum := Summarize(events)
+	if len(sum.Campaigns) != 1 {
+		t.Fatalf("campaigns = %d, want 1", len(sum.Campaigns))
+	}
+	c := sum.Campaigns[0]
+	if c.Retries != 3 || c.Quarantined != 1 {
+		t.Errorf("campaign tallies retries=%d quarantined=%d, want 3/1", c.Retries, c.Quarantined)
+	}
+	byStratum := map[int]*StratumSummary{}
+	for _, st := range c.Strata {
+		byStratum[st.Stratum] = st
+	}
+	if st := byStratum[0]; st == nil || st.Retried != 1 || st.Quarantined != 0 {
+		t.Errorf("stratum 0 summary = %+v, want Retried=1 Quarantined=0", st)
+	}
+	if st := byStratum[1]; st == nil || st.Retried != 1 || st.Quarantined != 1 {
+		t.Errorf("stratum 1 summary = %+v, want Retried=1 Quarantined=1", st)
+	}
+
+	var rep bytes.Buffer
+	sum.WriteReport(&rep, true)
+	out := rep.String()
+	if !strings.Contains(out, "supervision: 3 failed attempts retried, 1 draws quarantined") {
+		t.Errorf("report missing supervision line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 quarantined (margin over reduced n)") {
+		t.Errorf("report missing per-stratum quarantine note:\n%s", out)
+	}
+}
+
+// TestSummarizeSupervisionFromProgressFallback: a truncated trace (no
+// campaign_end) must still carry the last observed supervision tallies.
+func TestSummarizeSupervisionFromProgressFallback(t *testing.T) {
+	events := []Event{
+		FromTrace("trunc", core.TraceEvent{Kind: core.TraceCampaignStart, Time: time.Unix(0, 1), Planned: 100}),
+		FromProgress("trunc", core.Progress{Done: 50, Planned: 100, Retries: 2, Quarantined: 1}),
+	}
+	c := Summarize(events).Campaigns[0]
+	if c.Complete {
+		t.Fatal("truncated trace reported complete")
+	}
+	if c.Retries != 2 || c.Quarantined != 1 {
+		t.Errorf("fallback tallies retries=%d quarantined=%d, want 2/1", c.Retries, c.Quarantined)
+	}
+}

@@ -44,6 +44,7 @@ package sfi
 
 import (
 	"io"
+	"time"
 
 	"cnnsfi/internal/core"
 	"cnnsfi/internal/dataaware"
@@ -161,6 +162,13 @@ type (
 	// LatencySampler is implemented by evaluators that can time
 	// individual experiments (both the Injector and the Oracle do).
 	LatencySampler = evalstats.LatencySampler
+	// ExperimentError is the typed failure a supervised campaign records
+	// for one experiment attempt: the fault identity plus either the
+	// recovered panic (with stack) or a watchdog timeout.
+	ExperimentError = core.ExperimentError
+	// QuarantinedFault is one draw a supervised campaign excluded from
+	// the tally after exhausting its retry budget (Result.Quarantined).
+	QuarantinedFault = core.QuarantinedFault
 )
 
 // The four SFI approaches, in the paper's order.
@@ -169,6 +177,20 @@ const (
 	LayerWise   = core.LayerWise
 	DataUnaware = core.DataUnaware
 	DataAware   = core.DataAware
+)
+
+// Checkpoint failure sentinels: Engine.Execute wraps every checkpoint
+// rejection around one of these, so callers can dispatch with errors.Is
+// and print targeted guidance (cmd/sfirun does). Corruption of the
+// primary checkpoint is recovered automatically from the rotated .bak
+// backup when possible; the mismatch sentinels mean the checkpoint
+// belongs to a different campaign.
+var (
+	ErrCheckpointCorrupt = core.ErrCheckpointCorrupt
+	ErrCheckpointVersion = core.ErrCheckpointVersion
+	ErrCheckpointSeed    = core.ErrCheckpointSeed
+	ErrCheckpointPlan    = core.ErrCheckpointPlan
+	ErrCheckpointWorkers = core.ErrCheckpointWorkers
 )
 
 // Floating-point formats for the data-aware analysis.
@@ -360,6 +382,27 @@ func WithDecodeValidation(on bool) EngineOption { return core.WithDecodeValidati
 // checkpoint saves through it. Tracing is observability only — the
 // Result is bit-identical with or without a sink.
 func WithTrace(sink TraceSink) EngineOption { return core.WithTrace(sink) }
+
+// WithExperimentTimeout enables the per-experiment watchdog: an
+// IsCritical call (including fault decode) that exceeds d counts as a
+// failed attempt, exactly like a panic, and is retried or quarantined
+// under the WithMaxRetries budget. Setting a timeout enables campaign
+// supervision (panic isolation + quarantine) even when WithMaxRetries
+// is not used.
+func WithExperimentTimeout(d time.Duration) EngineOption { return core.WithExperimentTimeout(d) }
+
+// WithMaxRetries enables supervised execution with n retries per
+// failing experiment: each retry runs on a freshly cloned evaluator
+// (WorkerCloner), and a fault that exhausts the budget is quarantined —
+// excluded from the tally, reported in Result.Quarantined, with its
+// stratum's margin recomputed over the reduced effective n. n = 0
+// supervises (panics no longer crash the campaign) without retrying.
+func WithMaxRetries(n int) EngineOption { return core.WithMaxRetries(n) }
+
+// WithWarnings installs a sink for the engine's rare one-line
+// operational warnings (quarantine decisions, checkpoint recovery from
+// backup). Without one they go to stderr.
+func WithWarnings(sink func(msg string)) EngineOption { return core.WithWarnings(sink) }
 
 // AsyncSink decouples a slow ProgressSink from the engine's dispatcher
 // through a buffered channel: non-final events are dropped when the
