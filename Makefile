@@ -10,6 +10,9 @@
 #                fuzz stage; seed corpora live in testdata/fuzz/)
 #   make trace-smoke  record a tiny traced campaign, replay it with
 #                sfitrace, and diff the summary against its golden
+#   make service-smoke  start sfid, drive a campaign through sfictl,
+#                and diff the served result against the sfirun golden
+#   make docs-check  fail on dead relative links in README/docs
 #   make vuln    scan the module against the Go vulnerability database
 #                (needs network access; CI runs it on every push)
 #   make verify  what CI would run: build + vet + test
@@ -19,7 +22,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench fuzz-smoke trace-smoke vuln verify
+.PHONY: build test race vet bench fuzz-smoke trace-smoke service-smoke docs-check vuln verify
 
 build:
 	$(GO) build ./...
@@ -28,7 +31,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/inject/ ./internal/nn/ ./internal/telemetry/ ./sfi/
+	$(GO) test -race ./internal/core/ ./internal/inject/ ./internal/nn/ ./internal/telemetry/ ./internal/service/ ./sfi/
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +61,36 @@ trace-smoke:
 	$(GO) run ./cmd/sfitrace -in "$$tmp/run.jsonl" -strip-timing \
 		| diff -u cmd/sfitrace/testdata/trace_smoke.golden -; \
 	echo "trace-smoke: OK"
+
+# End-to-end service smoke: boot sfid on an ephemeral port, submit the
+# smallcnn data-aware campaign through sfictl, watch it to completion,
+# and diff the served Result document against the checked-in golden.
+# The golden is maintained by TestServiceSmokeGolden (cmd/sfid) as the
+# direct-engine bytes for the same spec, so this asserts the service's
+# bit-identity contract from outside the process boundary.
+service-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/sfid" ./cmd/sfid; \
+	$(GO) build -o "$$tmp/sfictl" ./cmd/sfictl; \
+	"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/state" 2>"$$tmp/log" & pid=$$!; \
+	addr=; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^sfid: listening on \(http://[^ ]*\) .*|\1|p' "$$tmp/log"); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "service-smoke: sfid never came up"; cat "$$tmp/log"; exit 1; }; \
+	id=$$("$$tmp/sfictl" -addr "$$addr" submit -model smallcnn -approach data-aware \
+		-margin 0.05 -workers 1 2>/dev/null); \
+	"$$tmp/sfictl" -addr "$$addr" watch -id "$$id" >/dev/null 2>&1; \
+	"$$tmp/sfictl" -addr "$$addr" result -id "$$id" >"$$tmp/result.json"; \
+	diff -u cmd/sfid/testdata/service_smoke.result.golden "$$tmp/result.json"; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "service-smoke: OK"
+
+# The doc-link checker is a root-level test; running it by name keeps
+# the target fast and the logic in Go instead of shell.
+docs-check:
+	$(GO) test -run '^TestDocLinks$$' .
 
 # govulncheck is fetched on demand (not a module dependency); it needs
 # network access to both proxy.golang.org and vuln.go.dev, so the target

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cnnsfi/internal/service"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestUsage pins the exit-2 usage surface: no subcommand, unknown
+// subcommand, and the shared usage text.
+func TestUsage(t *testing.T) {
+	t.Run("no_command", func(t *testing.T) {
+		code, stdout, stderr := runCLI(t)
+		if code != 2 || stdout != "" {
+			t.Fatalf("code=%d stdout=%q, want 2 and empty", code, stdout)
+		}
+		checkGolden(t, "usage.golden", stderr)
+	})
+	t.Run("unknown_command", func(t *testing.T) {
+		code, stdout, stderr := runCLI(t, "destroy")
+		if code != 2 || stdout != "" {
+			t.Fatalf("code=%d stdout=%q, want 2 and empty", code, stdout)
+		}
+		checkGolden(t, "unknown_command.golden", stderr)
+	})
+}
+
+// TestMissingID pins the exit-1 one-liner for every subcommand that
+// requires -id.
+func TestMissingID(t *testing.T) {
+	for _, cmd := range []string{"status", "watch", "result", "cancel"} {
+		t.Run(cmd, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, cmd)
+			if code != 1 || stdout != "" {
+				t.Fatalf("code=%d stdout=%q, want 1 and empty", code, stdout)
+			}
+			want := "sfictl: " + cmd + ": -id is required\n"
+			if stderr != want {
+				t.Errorf("stderr = %q, want %q", stderr, want)
+			}
+		})
+	}
+}
+
+// TestAgainstLiveService drives every subcommand against an in-process
+// sfid service: submit → watch → status → list → result → cancel.
+func TestAgainstLiveService(t *testing.T) {
+	svc, err := service.New(service.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	srv := httptest.NewServer(service.NewMux(svc))
+	defer srv.Close()
+	addr := []string{"-addr", srv.URL}
+
+	code, stdout, stderr := runCLI(t, append(addr,
+		"submit", "-model", "smallcnn", "-approach", "network-wise", "-margin", "0.1")...)
+	if code != 0 {
+		t.Fatalf("submit exit %d: %s", code, stderr)
+	}
+	id := strings.TrimSpace(stdout)
+	if id == "" {
+		t.Fatal("submit printed no job ID on stdout")
+	}
+	if !strings.Contains(stderr, "sfictl: submitted "+id) {
+		t.Errorf("submit diagnostics = %q", stderr)
+	}
+
+	code, stdout, _ = runCLI(t, append(addr, "watch", "-id", id)...)
+	if code != 0 {
+		t.Fatalf("watch exit %d, want 0 (completed); stdout=%q", code, stdout)
+	}
+	if !strings.Contains(stdout, "state=completed") {
+		t.Errorf("watch final line = %q, want state=completed", stdout)
+	}
+
+	code, stdout, _ = runCLI(t, append(addr, "status", "-id", id)...)
+	if code != 0 || !strings.Contains(stdout, "state=completed") {
+		t.Fatalf("status exit %d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, append(addr, "status", "-id", id, "-json")...)
+	if code != 0 || !strings.Contains(stdout, `"state": "completed"`) {
+		t.Fatalf("status -json exit %d stdout=%q", code, stdout)
+	}
+
+	code, stdout, _ = runCLI(t, append(addr, "list")...)
+	if code != 0 || !strings.Contains(stdout, id) {
+		t.Fatalf("list exit %d stdout=%q", code, stdout)
+	}
+
+	code, stdout, _ = runCLI(t, append(addr, "result", "-id", id)...)
+	if code != 0 {
+		t.Fatalf("result exit %d", code)
+	}
+	want, err := svc.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("result bytes differ from the service's stored document")
+	}
+
+	// Terminal jobs refuse cancellation with one actionable line.
+	code, _, stderr = runCLI(t, append(addr, "cancel", "-id", id)...)
+	if code != 1 || !strings.Contains(stderr, "HTTP 409") {
+		t.Errorf("cancel of completed job: exit %d stderr=%q, want 1 with HTTP 409", code, stderr)
+	}
+	// Unknown jobs 404 through the same path.
+	code, _, stderr = runCLI(t, append(addr, "status", "-id", "nosuch")...)
+	if code != 1 || !strings.Contains(stderr, "HTTP 404") {
+		t.Errorf("status of unknown job: exit %d stderr=%q, want 1 with HTTP 404", code, stderr)
+	}
+}

@@ -1,0 +1,129 @@
+// Command sfid is the long-running campaign service: it schedules many
+// statistical fault-injection campaigns against one shared worker pool
+// and exposes an HTTP/JSON API to submit plans, stream progress (SSE),
+// fetch results, and cancel jobs. Use sfictl (or curl) as the client;
+// docs/API.md documents every endpoint and docs/OPERATIONS.md the
+// operational surface.
+//
+// Durability: every job persists under -state-dir — the job record, the
+// engine's checkpoint v2 file while interrupted, and the final Result
+// document. SIGTERM (or Ctrl-C) drains gracefully: running campaigns
+// write a final checkpoint at their next shard boundary, and the next
+// sfid over the same directory resumes each of them with zero
+// re-evaluated draws. Results are bit-identical to an sfirun invocation
+// of the same (plan, seed, workers), whether or not a restart happened
+// in between.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cnnsfi/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is the whole daemon behind main, parameterised for testing: it
+// serves until ctx is canceled, then drains (campaigns checkpoint and
+// release) and returns. Bad input yields one actionable line on stderr
+// and exit code 1.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfid", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8766", "HTTP listen address (host:port; :0 picks an ephemeral port)")
+	stateDir := fs.String("state-dir", "sfid-state", "state directory: job records, checkpoints, results")
+	workers := fs.Int("workers", 0, "size of the shared worker-token pool (0 = GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 64, "pending-queue cap; submissions beyond it get HTTP 429")
+	ckptEvery := fs.Int64("checkpoint-interval", 0, "per-job checkpoint cadence in injections (0 = engine default)")
+	progEvery := fs.Int64("progress-interval", 0, "per-job progress/SSE cadence in injections (0 = engine default)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "max wait for running campaigns to checkpoint on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error + usage
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "sfid: "+format+"\n", args...)
+		return 1
+	}
+	if fs.NArg() > 0 {
+		return fail("unexpected argument %q; sfid takes only flags", fs.Arg(0))
+	}
+	if *addr == "" {
+		return fail("-addr must not be empty")
+	}
+	if *workers < 0 {
+		return fail("-workers must be >= 0 (got %d); 0 selects all cores", *workers)
+	}
+	if *maxQueue <= 0 {
+		return fail("-max-queue must be > 0 (got %d)", *maxQueue)
+	}
+	if *ckptEvery < 0 {
+		return fail("-checkpoint-interval must be >= 0 (got %d)", *ckptEvery)
+	}
+	if *progEvery < 0 {
+		return fail("-progress-interval must be >= 0 (got %d)", *progEvery)
+	}
+	if *drainTimeout <= 0 {
+		return fail("-drain-timeout must be > 0 (got %v)", *drainTimeout)
+	}
+
+	svc, err := service.New(service.Config{
+		Dir:             *stateDir,
+		TotalWorkers:    *workers,
+		MaxQueue:        *maxQueue,
+		CheckpointEvery: *ckptEvery,
+		ProgressEvery:   *progEvery,
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "sfid: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("%v", err)
+	}
+	srv := &http.Server{Handler: service.NewMux(svc)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "sfid: listening on http://%s (state %s, %d jobs recovered)\n",
+		ln.Addr(), *stateDir, len(svc.List()))
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		return fail("serving: %v", err)
+	}
+
+	// Drain: stop accepting connections, then cancel every running
+	// campaign and wait for their final checkpoints.
+	fmt.Fprintln(stderr, "sfid: shutting down; draining campaigns...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := svc.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "sfid: drain: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "sfid: http shutdown: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintln(stderr, "sfid: drained; state persisted for resume")
+	return code
+}

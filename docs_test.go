@@ -1,0 +1,55 @@
+package cnnsfi_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links; images and reference-style
+// links don't occur in this repo's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks fails on dead relative links anywhere in the top-level
+// docs or docs/ — `make docs-check` runs exactly this test in CI, so
+// renaming or moving a documented file without fixing its references
+// breaks the build instead of the reader.
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found; wrong working directory?")
+	}
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // in-file anchors
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not exist (resolved %s)", file, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("found no relative links at all; the link scanner is broken")
+	}
+}

@@ -225,6 +225,66 @@ func readCheckpointDoc(path string) (*checkpointDoc, error) {
 	return &doc, nil
 }
 
+// CheckpointInfo is the engine-independent summary of a checkpoint
+// file: enough to report restored progress and to verify that a resume
+// will be accepted (seed, fingerprint, workers), without constructing an
+// Engine. The sfid service uses it to surface per-job recovery state.
+type CheckpointInfo struct {
+	// Version is the on-disk schema version.
+	Version int
+	// Seed is the sampling seed the checkpoint was written for.
+	Seed int64
+	// Fingerprint is the plan fingerprint (see PlanFingerprint).
+	Fingerprint uint64
+	// Workers is the worker count that wrote the checkpoint; resume
+	// requires the same count.
+	Workers int
+	// Injections is the number of evaluated draws the checkpoint covers —
+	// the prefix a resume restores without re-evaluating anything.
+	Injections int64
+	// Retries and Quarantined are the supervision tallies carried across
+	// the restart.
+	Retries     int64
+	Quarantined int
+	// Strata is the stratum count of the writing plan.
+	Strata int
+}
+
+// ReadCheckpointInfo reads and CRC-verifies the checkpoint at path,
+// following the engine's recovery ladder: a missing or corrupt primary
+// falls back to the rotated ".bak" backup. The returned error wraps the
+// same sentinels Execute does (ErrCheckpointCorrupt, ...); a missing
+// checkpoint (no primary and no backup) returns an error satisfying
+// os.IsNotExist.
+func ReadCheckpointInfo(path string) (CheckpointInfo, error) {
+	doc, err := readCheckpointDoc(path)
+	if err != nil {
+		if !os.IsNotExist(err) && !errors.Is(err, ErrCheckpointCorrupt) {
+			return CheckpointInfo{}, err
+		}
+		bdoc, berr := readCheckpointDoc(path + checkpointBackupSuffix)
+		if berr != nil {
+			return CheckpointInfo{}, err // report the primary's failure
+		}
+		doc = bdoc
+	}
+	info := CheckpointInfo{
+		Version:     doc.Version,
+		Seed:        doc.Seed,
+		Fingerprint: doc.Fingerprint,
+		Workers:     doc.Workers,
+		Injections:  doc.Injections,
+		Retries:     doc.Retries,
+		Quarantined: len(doc.Quarantined),
+		Strata:      len(doc.Strata),
+	}
+	if doc.Version != checkpointVersion {
+		return info, fmt.Errorf("core: checkpoint %s: %w: version %d, want %d",
+			path, ErrCheckpointVersion, doc.Version, checkpointVersion)
+	}
+	return info, nil
+}
+
 // applyCheckpoint validates the document against the running campaign
 // and only then folds it into the run state — a rejected checkpoint
 // leaves the execution untouched.

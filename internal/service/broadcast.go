@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// broadcaster fans one job's event stream out to any number of
+// subscribers (SSE connections). Publishing is non-blocking: it runs on
+// the engine's dispatcher goroutine, so a slow subscriber loses
+// interior events rather than stalling the campaign. Terminal state is
+// still delivered reliably — close hands every subscriber one final
+// event line before closing its channel, and the HTTP layer re-reads
+// the job status after the stream ends.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+	final  []byte // the closing event, replayed to late subscribers
+}
+
+// subBuffer sizes each subscriber channel. Events arrive at shard
+// cadence, so a few hundred absorbs any realistic scrape stall.
+const subBuffer = 256
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan []byte]struct{})}
+}
+
+// subscribe returns a channel of marshaled event lines and a detach
+// function. On an already-closed broadcaster the channel arrives
+// holding the final event and immediately closed.
+func (b *broadcaster) subscribe() (chan []byte, func()) {
+	ch := make(chan []byte, subBuffer)
+	b.mu.Lock()
+	if b.closed {
+		if b.final != nil {
+			ch <- b.final
+		}
+		close(ch)
+		b.mu.Unlock()
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// publishJSON marshals v once and offers it to every subscriber,
+// dropping per-subscriber on a full buffer. Marshaling is skipped
+// entirely when nobody is listening.
+func (b *broadcaster) publishJSON(v any) {
+	b.mu.Lock()
+	if b.closed || len(b.subs) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		b.mu.Unlock()
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- line:
+		default:
+		}
+	}
+	b.mu.Unlock()
+}
+
+// close delivers the final event (best effort per subscriber; the
+// buffered channel makes loss only possible after 256 unread events)
+// and closes every subscriber channel. Idempotent.
+func (b *broadcaster) close(final any) {
+	line, _ := json.Marshal(final)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.final = line
+	for ch := range b.subs {
+		if line != nil {
+			select {
+			case ch <- line:
+			default:
+			}
+		}
+		close(ch)
+	}
+	b.subs = nil
+	b.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+package service_test
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cnnsfi/internal/service"
+)
+
+// apiDoc loads docs/API.md, the operator-facing reference this package
+// must stay in sync with.
+func apiDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document the API: %v", err)
+	}
+	return string(data)
+}
+
+// TestEveryRouteIsDocumented enforces the acceptance criterion that
+// docs/API.md covers the full served surface: each mux route must
+// appear verbatim as `METHOD PATTERN`.
+func TestEveryRouteIsDocumented(t *testing.T) {
+	doc := apiDoc(t)
+	routes := service.Routes()
+	if len(routes) < 9 {
+		t.Fatalf("Routes() lists %d routes, expected the full surface (9+)", len(routes))
+	}
+	for _, r := range routes {
+		want := fmt.Sprintf("`%s %s`", r.Method, r.Pattern)
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/API.md is missing route %s", want)
+		}
+	}
+}
+
+// TestEverySpecFieldIsDocumented keeps the field tables in docs/API.md
+// complete: every JSON field of the request and status schemas must be
+// mentioned.
+func TestEverySpecFieldIsDocumented(t *testing.T) {
+	doc := apiDoc(t)
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(service.CampaignSpec{}),
+		reflect.TypeOf(service.JobStatus{}),
+		reflect.TypeOf(service.JobStateEvent{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			tag := typ.Field(i).Tag.Get("json")
+			name, _, _ := strings.Cut(tag, ",")
+			if name == "" || name == "-" {
+				continue
+			}
+			if !strings.Contains(doc, "`"+name+"`") && !strings.Contains(doc, `"`+name+`"`) {
+				t.Errorf("docs/API.md never mentions %s field %q", typ.Name(), name)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Route documents one HTTP endpoint. Routes is the single source of
+// truth: NewMux registers handlers by iterating it (an endpoint without
+// a handler panics at construction), and a test asserts every entry
+// appears in docs/API.md — so the implemented and documented surfaces
+// cannot drift apart.
+type Route struct {
+	Method  string
+	Pattern string
+	Summary string
+}
+
+// Routes returns the full endpoint table of an sfid server.
+func Routes() []Route {
+	return []Route{
+		{"GET", "/healthz", "Liveness and drain state"},
+		{"POST", "/api/v1/campaigns", "Submit a campaign"},
+		{"GET", "/api/v1/campaigns", "List all campaigns"},
+		{"GET", "/api/v1/campaigns/{id}", "Fetch one campaign's status"},
+		{"DELETE", "/api/v1/campaigns/{id}", "Cancel a campaign"},
+		{"GET", "/api/v1/campaigns/{id}/result", "Fetch a completed campaign's Result document"},
+		{"GET", "/api/v1/campaigns/{id}/events", "Stream campaign events (SSE)"},
+		{"GET", "/metrics", "Prometheus metrics with per-campaign labels"},
+		{"GET", "/debug/pprof/", "Go profiling endpoints"},
+	}
+}
+
+// NewMux builds the sfid HTTP handler over s, mounting exactly the
+// endpoints Routes declares (plus the pprof sub-handlers under the
+// documented /debug/pprof/ subtree).
+func NewMux(s *Service) *http.ServeMux {
+	handlers := map[string]http.HandlerFunc{
+		"GET /healthz":                      s.handleHealthz,
+		"POST /api/v1/campaigns":            s.handleSubmit,
+		"GET /api/v1/campaigns":             s.handleList,
+		"GET /api/v1/campaigns/{id}":        s.handleGet,
+		"DELETE /api/v1/campaigns/{id}":     s.handleCancel,
+		"GET /api/v1/campaigns/{id}/result": s.handleResult,
+		"GET /api/v1/campaigns/{id}/events": s.handleEvents,
+		"GET /metrics":                      s.reg.Handler().ServeHTTP,
+		"GET /debug/pprof/":                 pprof.Index,
+	}
+	mux := http.NewServeMux()
+	for _, rt := range Routes() {
+		key := rt.Method + " " + rt.Pattern
+		h, ok := handlers[key]
+		if !ok {
+			panic("service: route without handler: " + key)
+		}
+		mux.HandleFunc(key, h)
+	}
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// errorBody is the JSON error envelope of every non-2xx API response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v) // past the header this is a client write failure
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitCode maps a Submit error to its HTTP status.
+func submitCode(err error) int {
+	switch {
+	case errors.Is(err, ErrInvalidSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding campaign spec: %v", err)
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, submitCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]JobStatus{"campaigns": s.List()})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrJobDone):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Result(r.PathValue("id"))
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data) // the exact WriteJSON bytes, byte-identical to sfirun
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrJobNotDone):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleEvents streams a job's events as Server-Sent Events: one
+// `data: <json>` frame per event, where the payload is either a
+// telemetry.Event (progress and trace kinds) or a JobStateEvent
+// (lifecycle transitions). The stream opens with a job_state snapshot,
+// closes with the terminal job_state event, and ends when the job
+// finishes, the client disconnects, or the service drains.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	ch, cancel, err := s.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	send := func(line []byte) bool {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	snapshot, _ := json.Marshal(JobStateEvent{
+		Kind: KindJobState, ID: st.ID, Name: st.Name, State: st.State,
+		Error: st.Error, Planned: st.Planned, Done: st.Done, Critical: st.Critical,
+	})
+	if !send(snapshot) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line, open := <-ch:
+			if !open {
+				return
+			}
+			if !send(line) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,592 @@
+// Package service schedules many fault-injection campaigns inside one
+// long-running process — the multi-tenant layer the sfid daemon exposes
+// over HTTP. It composes exclusively out of seams the lower layers
+// already provide: campaigns execute through core.Engine unchanged (so
+// every Result is bit-identical to a direct sfirun invocation at the
+// same plan, seed, and worker count), checkpoint v2 files are the
+// durable job state (a restarted service resumes every in-flight job
+// from disk with zero re-evaluated draws), TraceSink/ProgressSink
+// events become the SSE payload, and the telemetry Registry carries
+// per-campaign labeled series.
+//
+// Scheduling model: one shared pool of worker tokens (Config.
+// TotalWorkers). A job needs its fixed spec.Workers tokens to start and
+// holds them until its Execute returns. The pending queue orders by
+// (priority desc, submission order asc) and admits strictly from the
+// head — no backfill — so a large job is never starved by a stream of
+// later small ones; fairness is chosen over utilization. Backpressure
+// is explicit: a full queue rejects submissions (HTTP 429), a draining
+// service rejects everything (HTTP 503).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cnnsfi/internal/core"
+	"cnnsfi/internal/telemetry"
+)
+
+// Submission and lookup sentinels; the HTTP layer maps each to one
+// status code (ErrQueueFull → 429, ErrDraining → 503, ErrUnknownJob →
+// 404, ErrJobNotDone and ErrJobDone → 409).
+var (
+	ErrQueueFull  = errors.New("pending queue full")
+	ErrDraining   = errors.New("service draining")
+	ErrUnknownJob = errors.New("unknown job")
+	ErrJobNotDone = errors.New("job has not completed")
+	ErrJobDone    = errors.New("job already finished")
+)
+
+// JobState is one node of the job lifecycle state machine:
+//
+//	pending → running → completed
+//	                  → failed
+//	pending|running   → canceled
+//
+// A daemon restart maps running back to pending (the checkpoint carries
+// the progress); terminal states are final.
+type JobState string
+
+const (
+	StatePending   JobState = "pending"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateFailed    JobState = "failed"
+	StateCanceled  JobState = "canceled"
+)
+
+// terminal reports whether st is final.
+func (st JobState) terminal() bool {
+	return st == StateCompleted || st == StateFailed || st == StateCanceled
+}
+
+// Config parameterises a Service. The zero value of every field selects
+// a sensible default; only Dir is required.
+type Config struct {
+	// Dir is the state directory: job records, engine checkpoints, and
+	// result documents all live here (see docs/OPERATIONS.md for the
+	// layout). Created if missing.
+	Dir string
+	// TotalWorkers sizes the shared worker-token pool (default
+	// GOMAXPROCS). A spec requesting more workers than this is rejected
+	// at submission, since it could never start.
+	TotalWorkers int
+	// MaxQueue caps the pending queue (default 64); submissions beyond
+	// it fail with ErrQueueFull.
+	MaxQueue int
+	// CheckpointEvery / ProgressEvery override the engine's per-job
+	// checkpoint and progress cadence (injections; 0 keeps the engine
+	// defaults).
+	CheckpointEvery int64
+	ProgressEvery   int64
+	// Registry receives service and per-campaign metrics; nil creates a
+	// private registry (reachable via Registry()).
+	Registry *telemetry.Registry
+	// BuildEvaluator constructs each job's evaluator (default
+	// DefaultEvaluator); tests substitute instrumented evaluators here.
+	BuildEvaluator EvaluatorBuilder
+	// Warnf, when set, receives one-line diagnostics (engine warnings,
+	// persistence failures).
+	Warnf func(format string, args ...any)
+}
+
+// job is the in-memory state of one campaign. Mutable fields are
+// guarded by Service.mu except the live progress snapshot, which the
+// engine's dispatcher goroutine updates under its own lock.
+type job struct {
+	id   string
+	seq  int64
+	spec CampaignSpec
+
+	state       JobState
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	errMsg      string
+	planned     int64
+	done        int64 // final tally (terminal or recovered jobs)
+	critical    int64
+	restored    int64 // checkpoint prefix restored at the last start
+	userCancel  bool
+	cancel      context.CancelFunc
+
+	pmu     sync.Mutex
+	prog    core.Progress
+	hasProg bool
+
+	b *broadcaster
+}
+
+// Service is the campaign scheduler. All exported methods are safe for
+// concurrent use.
+type Service struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	drained chan struct{} // closed when Shutdown's wait completes
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job // every job, submission order
+	queue    []*job // pending jobs, (priority desc, seq asc)
+	free     int
+	nextSeq  int64
+	draining bool
+
+	submitted *telemetry.Counter
+	rejected  *telemetry.Counter
+}
+
+// New opens (or creates) the state directory, recovers every persisted
+// job — terminal jobs become queryable, interrupted and queued ones
+// re-enter the pending queue and resume from their checkpoints — and
+// starts scheduling.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("service: Config.Dir is required")
+	}
+	if cfg.TotalWorkers <= 0 {
+		cfg.TotalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.BuildEvaluator == nil {
+		cfg.BuildEvaluator = DefaultEvaluator
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		ctx:     ctx,
+		cancel:  cancel,
+		drained: make(chan struct{}),
+		jobs:    make(map[string]*job),
+		free:    cfg.TotalWorkers,
+		nextSeq: 1,
+	}
+	s.registerServiceMetrics()
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.dispatch()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Registry returns the metrics registry the service reports into.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+func (s *Service) warnf(format string, args ...any) {
+	if s.cfg.Warnf != nil {
+		s.cfg.Warnf(format, args...)
+	}
+}
+
+// Submit validates, persists, and enqueues one campaign. The returned
+// status reflects the job's state after an immediate dispatch attempt
+// (it may already be running).
+func (s *Service) Submit(spec CampaignSpec) (JobStatus, error) {
+	spec.normalize()
+	if err := spec.validate(); err != nil {
+		return JobStatus{}, err
+	}
+	if spec.Workers > s.cfg.TotalWorkers {
+		return JobStatus{}, fmt.Errorf("%w: workers %d exceeds the service pool of %d",
+			ErrInvalidSpec, spec.Workers, s.cfg.TotalWorkers)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		s.rejected.Inc()
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: %d jobs pending (cap %d)", ErrQueueFull, len(s.queue), s.cfg.MaxQueue)
+	}
+	j := &job{
+		id:          fmt.Sprintf("j%06d", s.nextSeq),
+		seq:         s.nextSeq,
+		spec:        spec,
+		state:       StatePending,
+		submittedAt: time.Now().UTC(),
+		b:           newBroadcaster(),
+	}
+	s.nextSeq++
+	if err := s.persistLocked(j); err != nil {
+		s.mu.Unlock()
+		return JobStatus{}, err
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.enqueueLocked(j)
+	s.registerJobMetrics(j)
+	s.submitted.Inc()
+	s.dispatch()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	return st, nil
+}
+
+// enqueueLocked inserts j into the pending queue keeping (priority
+// desc, seq asc) order.
+func (s *Service) enqueueLocked(j *job) {
+	i := sort.Search(len(s.queue), func(i int) bool {
+		q := s.queue[i]
+		if q.spec.Priority != j.spec.Priority {
+			return q.spec.Priority < j.spec.Priority
+		}
+		return q.seq > j.seq
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+}
+
+// dispatch starts queued jobs while the head job fits in the free
+// token budget. Caller holds s.mu. Head-only admission keeps FIFO
+// fairness: a queued wide job blocks later jobs of equal or lower
+// priority rather than being overtaken forever.
+func (s *Service) dispatch() {
+	for !s.draining && len(s.queue) > 0 && s.queue[0].spec.Workers <= s.free {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.free -= j.spec.Workers
+		j.state = StateRunning
+		j.startedAt = time.Now().UTC()
+		if err := s.persistLocked(j); err != nil {
+			s.warnf("job %s: %v", j.id, err)
+		}
+		jctx, cancel := context.WithCancel(s.ctx)
+		j.cancel = cancel
+		s.wg.Add(1)
+		go s.runJob(jctx, j)
+	}
+}
+
+// runJob executes one campaign end to end: restore-aware start, engine
+// run, result persistence, and the terminal (or re-pending) state
+// transition that frees the job's worker tokens.
+func (s *Service) runJob(ctx context.Context, j *job) {
+	defer s.wg.Done()
+	if info, err := core.ReadCheckpointInfo(s.checkpointPath(j.id)); err == nil {
+		s.mu.Lock()
+		j.restored = info.Injections
+		s.mu.Unlock()
+	}
+	ev, plan, err := buildCampaign(j.spec, s.cfg.BuildEvaluator)
+	if err != nil {
+		s.finish(j, StateFailed, err.Error(), 0, 0)
+		return
+	}
+	s.mu.Lock()
+	j.planned = plan.TotalInjections()
+	if err := s.persistLocked(j); err != nil {
+		s.warnf("job %s: %v", j.id, err)
+	}
+	s.mu.Unlock()
+
+	res, err := core.NewEngine(s.engineOptions(j)...).Execute(ctx, ev, plan, j.spec.RunSeed)
+	switch {
+	case err == nil:
+		if werr := s.writeResult(j.id, res); werr != nil {
+			s.finish(j, StateFailed, werr.Error(), res.Injections(), criticalOf(res))
+			return
+		}
+		s.finish(j, StateCompleted, "", res.Injections(), criticalOf(res))
+	case res != nil && res.Partial && s.isUserCancel(j):
+		// An individually canceled job will never resume; drop its
+		// checkpoint so the state dir only holds live recovery data.
+		os.Remove(s.checkpointPath(j.id))
+		os.Remove(s.checkpointPath(j.id) + ".bak")
+		s.finish(j, StateCanceled, "canceled", res.Injections(), criticalOf(res))
+	case res != nil && res.Partial:
+		// Service shutdown: the engine already wrote its final
+		// checkpoint. Re-persist as pending so the next daemon run
+		// requeues and resumes this job.
+		s.mu.Lock()
+		j.state = StatePending
+		j.startedAt = time.Time{}
+		j.done = res.Injections()
+		j.critical = criticalOf(res)
+		j.cancel = nil
+		s.free += j.spec.Workers
+		if perr := s.persistLocked(j); perr != nil {
+			s.warnf("job %s: %v", j.id, perr)
+		}
+		s.mu.Unlock()
+		j.b.close(s.stateEvent(j))
+	default:
+		s.finish(j, StateFailed, err.Error(), 0, 0)
+	}
+}
+
+// criticalOf sums the critical tallies of a (possibly partial) result.
+func criticalOf(res *core.Result) int64 {
+	var n int64
+	for _, est := range res.Estimates {
+		n += est.Successes
+	}
+	return n
+}
+
+// isUserCancel reports whether Cancel marked this job (written and read
+// under the service lock).
+func (s *Service) isUserCancel(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.userCancel
+}
+
+// finish moves j to a terminal state, frees its tokens, persists, and
+// closes the job's event stream with a final state event.
+func (s *Service) finish(j *job, st JobState, errMsg string, done, critical int64) {
+	s.mu.Lock()
+	j.state = st
+	j.errMsg = errMsg
+	j.finishedAt = time.Now().UTC()
+	j.done = done
+	j.critical = critical
+	j.cancel = nil
+	s.free += j.spec.Workers
+	if err := s.persistLocked(j); err != nil {
+		s.warnf("job %s: %v", j.id, err)
+	}
+	s.dispatch()
+	s.mu.Unlock()
+	j.b.close(s.stateEvent(j))
+}
+
+// Get returns one job's status.
+func (s *Service) Get(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// List returns every job in submission order.
+func (s *Service) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.order))
+	for i, j := range s.order {
+		out[i] = s.statusLocked(j)
+	}
+	return out
+}
+
+// Cancel stops one job: a pending job leaves the queue immediately, a
+// running one has its context canceled (the engine stops at the next
+// shard boundary). Canceling a finished job fails with ErrJobDone.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StatePending:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+		j.finishedAt = time.Now().UTC()
+		if err := s.persistLocked(j); err != nil {
+			s.warnf("job %s: %v", j.id, err)
+		}
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		j.b.close(s.stateEvent(j))
+		return st, nil
+	case StateRunning:
+		j.userCancel = true
+		cancel := j.cancel
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return st, nil
+	default:
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		return st, fmt.Errorf("%w: %s is %s", ErrJobDone, id, st.State)
+	}
+}
+
+// Result returns the completed job's Result document — the exact bytes
+// core.Result.WriteJSON produced, so they are directly comparable to an
+// sfirun artifact.
+func (s *Service) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var st JobState
+	if ok {
+		st = j.state
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if st != StateCompleted {
+		return nil, fmt.Errorf("%w: %s is %s", ErrJobNotDone, id, st)
+	}
+	data, err := os.ReadFile(s.resultPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("service: reading result: %w", err)
+	}
+	return data, nil
+}
+
+// Subscribe attaches to a job's live event stream. The returned channel
+// yields marshaled telemetry/job-state event lines and closes when the
+// job reaches a terminal state (or the service shuts down); cancel
+// detaches early. A job already finished returns a nil channel — the
+// caller should fall back to Get for the final state.
+func (s *Service) Subscribe(id string) (<-chan []byte, func(), error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	ch, cancel := j.b.subscribe()
+	return ch, cancel, nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the service: new submissions are rejected, every
+// running campaign is canceled (each writes a final checkpoint at its
+// next shard boundary), and Shutdown waits for them to settle or ctx to
+// expire. Pending and interrupted jobs stay on disk as pending; a new
+// Service over the same directory resumes them.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		s.cancel() // cancels every job context
+		go func() {
+			s.wg.Wait()
+			close(s.drained)
+		}()
+	}
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// progressSink captures live progress for status queries and metrics,
+// and republishes each event to SSE subscribers. It runs on the
+// engine's dispatcher goroutine, so it only snapshots and enqueues.
+func (s *Service) progressSink(j *job) core.ProgressSink {
+	return func(p core.Progress) {
+		j.pmu.Lock()
+		j.prog = p
+		j.hasProg = true
+		j.pmu.Unlock()
+		j.b.publishJSON(telemetry.FromProgress(j.id, p))
+	}
+}
+
+// traceSink republishes engine trace events to SSE subscribers.
+func (s *Service) traceSink(j *job) core.TraceSink {
+	return func(ev core.TraceEvent) {
+		j.b.publishJSON(telemetry.FromTrace(j.id, ev))
+	}
+}
+
+func (s *Service) registerServiceMetrics() {
+	s.submitted = s.reg.Counter("sfid_submitted_total", "Campaigns accepted for scheduling.")
+	s.rejected = s.reg.Counter("sfid_rejected_total", "Submissions rejected by queue backpressure.")
+	s.reg.GaugeFunc("sfid_workers_total", "Size of the shared worker-token pool.",
+		func() float64 { return float64(s.cfg.TotalWorkers) })
+	s.reg.GaugeFunc("sfid_workers_free", "Worker tokens currently unclaimed.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.free) })
+	s.reg.GaugeFunc("sfid_queue_length", "Jobs waiting in the pending queue.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.queue)) })
+	for _, st := range []JobState{StatePending, StateRunning, StateCompleted, StateFailed, StateCanceled} {
+		st := st
+		s.reg.LabeledGaugeFunc("sfid_jobs", "Jobs by lifecycle state.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				n := 0
+				for _, j := range s.order {
+					if j.state == st {
+						n++
+					}
+				}
+				return float64(n)
+			}, telemetry.Label{Name: "state", Value: string(st)})
+	}
+}
+
+// registerJobMetrics adds the job's labeled per-campaign series. Jobs
+// are never unregistered: a campaign's final tallies stay scrapeable
+// for the daemon's lifetime, which is what dashboards want.
+func (s *Service) registerJobMetrics(j *job) {
+	label := telemetry.Label{Name: "campaign", Value: j.id}
+	s.reg.LabeledGaugeFunc("sfid_campaign_done_injections", "Injections tallied by the campaign.",
+		func() float64 { done, _, _ := s.tallies(j); return float64(done) }, label)
+	s.reg.LabeledGaugeFunc("sfid_campaign_critical", "Critical faults observed by the campaign.",
+		func() float64 { _, crit, _ := s.tallies(j); return float64(crit) }, label)
+	s.reg.LabeledGaugeFunc("sfid_campaign_rate", "Campaign throughput in injections per second.",
+		func() float64 { _, _, rate := s.tallies(j); return rate }, label)
+}
+
+// tallies returns the freshest (done, critical, rate) for a job: the
+// live progress snapshot while running, the persisted final tallies
+// otherwise.
+func (s *Service) tallies(j *job) (done, critical int64, rate float64) {
+	s.mu.Lock()
+	running := j.state == StateRunning
+	done, critical = j.done, j.critical
+	s.mu.Unlock()
+	if running {
+		j.pmu.Lock()
+		if j.hasProg {
+			done, critical, rate = j.prog.Done, j.prog.Critical, j.prog.Rate
+		}
+		j.pmu.Unlock()
+	}
+	return done, critical, rate
+}

@@ -1,0 +1,282 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cnnsfi/internal/core"
+)
+
+// State directory layout — one triplet per job, keyed by job ID:
+//
+//	<dir>/<id>.job.json     job record (spec + lifecycle state)
+//	<dir>/<id>.ckpt[.bak]   engine checkpoint v2 (while interrupted)
+//	<dir>/<id>.result.json  final Result document (once completed)
+//
+// The job record is the scheduler's durable state; the checkpoint is
+// the engine's. Between the two, a killed daemon loses at most the
+// injections evaluated since the last checkpoint interval — and
+// re-evaluates none of the checkpointed prefix on restart.
+
+func (s *Service) jobPath(id string) string {
+	return filepath.Join(s.cfg.Dir, id+".job.json")
+}
+func (s *Service) checkpointPath(id string) string {
+	return filepath.Join(s.cfg.Dir, id+".ckpt")
+}
+func (s *Service) resultPath(id string) string {
+	return filepath.Join(s.cfg.Dir, id+".result.json")
+}
+
+// jobRecord is the on-disk schema of one job. Timestamps are UTC;
+// tallies are the last persisted values (live progress is not flushed
+// per event — the checkpoint holds the authoritative cursor).
+type jobRecord struct {
+	ID          string       `json:"id"`
+	Seq         int64        `json:"seq"`
+	Spec        CampaignSpec `json:"spec"`
+	State       JobState     `json:"state"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	StartedAt   time.Time    `json:"started_at"`
+	FinishedAt  time.Time    `json:"finished_at"`
+	Error       string       `json:"error,omitempty"`
+	Planned     int64        `json:"planned_injections,omitempty"`
+	Done        int64        `json:"done_injections,omitempty"`
+	Critical    int64        `json:"critical,omitempty"`
+}
+
+// persistLocked writes j's record atomically (tmp + rename). Caller
+// holds s.mu.
+func (s *Service) persistLocked(j *job) error {
+	rec := jobRecord{
+		ID:          j.id,
+		Seq:         j.seq,
+		Spec:        j.spec,
+		State:       j.state,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+		Error:       j.errMsg,
+		Planned:     j.planned,
+		Done:        j.done,
+		Critical:    j.critical,
+	}
+	data, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		return fmt.Errorf("service: encoding job %s: %w", j.id, err)
+	}
+	path := s.jobPath(j.id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("service: writing job %s: %w", j.id, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: committing job %s: %w", j.id, err)
+	}
+	return nil
+}
+
+// recover loads every persisted job from the state directory. Terminal
+// jobs become queryable as-is; pending and interrupted-while-running
+// jobs re-enter the queue (their checkpoints make the restart
+// re-evaluate nothing). Unreadable records are skipped with a warning —
+// one corrupt file must not take the whole fleet down.
+func (s *Service) recover() error {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("service: scanning state dir: %w", err)
+	}
+	var recovered []*job
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".job.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.cfg.Dir, name))
+		if err != nil {
+			s.warnf("recover: %v", err)
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			s.warnf("recover: %s: %v", name, err)
+			continue
+		}
+		if rec.ID == "" || rec.ID+".job.json" != name {
+			s.warnf("recover: %s: record id %q does not match filename", name, rec.ID)
+			continue
+		}
+		j := &job{
+			id:          rec.ID,
+			seq:         rec.Seq,
+			spec:        rec.Spec,
+			state:       rec.State,
+			submittedAt: rec.SubmittedAt,
+			startedAt:   rec.StartedAt,
+			finishedAt:  rec.FinishedAt,
+			errMsg:      rec.Error,
+			planned:     rec.Planned,
+			done:        rec.Done,
+			critical:    rec.Critical,
+			b:           newBroadcaster(),
+		}
+		if j.state == StateRunning {
+			// The previous daemon died (or drained) mid-campaign: requeue.
+			j.state = StatePending
+			j.startedAt = time.Time{}
+		}
+		if j.state == StatePending {
+			if info, err := core.ReadCheckpointInfo(s.checkpointPath(j.id)); err == nil {
+				j.restored = info.Injections
+				j.done = info.Injections
+			}
+		}
+		recovered = append(recovered, j)
+	}
+	sort.Slice(recovered, func(i, k int) bool { return recovered[i].seq < recovered[k].seq })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range recovered {
+		if j.seq >= s.nextSeq {
+			s.nextSeq = j.seq + 1
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		s.registerJobMetrics(j)
+		if j.state == StatePending {
+			s.enqueueLocked(j)
+			if err := s.persistLocked(j); err != nil {
+				s.warnf("recover: %v", err)
+			}
+		} else {
+			j.b.close(s.stateEventLocked(j))
+		}
+	}
+	return nil
+}
+
+// writeResult persists the final Result document atomically, in the
+// exact WriteJSON byte form sfirun produces.
+func (s *Service) writeResult(id string, res *core.Result) error {
+	path := s.resultPath(id)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("service: writing result: %w", err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("service: writing result: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("service: writing result: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: committing result: %w", err)
+	}
+	return nil
+}
+
+// JobStatus is the externally visible snapshot of one job — the JSON
+// body of the status endpoints and of sfictl status/list output.
+type JobStatus struct {
+	ID    string       `json:"id"`
+	Name  string       `json:"name"`
+	State JobState     `json:"state"`
+	Spec  CampaignSpec `json:"spec"`
+	// QueuePosition is the 1-based place in the pending queue; 0 once
+	// the job has left it.
+	QueuePosition int `json:"queue_position,omitempty"`
+	// SubmittedAt/StartedAt/FinishedAt are UTC; the zero time
+	// ("0001-01-01T00:00:00Z") means "not yet".
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+	// Error is the failure (or cancellation) reason for terminal states.
+	Error string `json:"error,omitempty"`
+	// Planned is the plan's total injection count (0 until the job first
+	// starts); Done/Critical are the freshest tallies; Restored is the
+	// checkpointed prefix the latest start resumed without re-evaluating.
+	Planned  int64   `json:"planned_injections,omitempty"`
+	Done     int64   `json:"done_injections"`
+	Critical int64   `json:"critical"`
+	Rate     float64 `json:"rate,omitempty"`
+	Restored int64   `json:"restored_injections,omitempty"`
+}
+
+// statusLocked snapshots j. Caller holds s.mu.
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Name:        j.spec.Name,
+		State:       j.state,
+		Spec:        j.spec,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+		Error:       j.errMsg,
+		Planned:     j.planned,
+		Done:        j.done,
+		Critical:    j.critical,
+		Restored:    j.restored,
+	}
+	if j.state == StatePending {
+		for i, q := range s.queue {
+			if q == j {
+				st.QueuePosition = i + 1
+				break
+			}
+		}
+	}
+	if j.state == StateRunning {
+		j.pmu.Lock()
+		if j.hasProg {
+			st.Done = j.prog.Done
+			st.Critical = j.prog.Critical
+			st.Rate = j.prog.Rate
+		}
+		j.pmu.Unlock()
+	}
+	return st
+}
+
+// JobStateEvent is the service-level SSE event marking a lifecycle
+// transition; engine progress and trace events use the telemetry.Event
+// schema. Kind is always "job_state".
+type JobStateEvent struct {
+	Kind     string   `json:"kind"`
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	State    JobState `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Planned  int64    `json:"planned_injections,omitempty"`
+	Done     int64    `json:"done_injections"`
+	Critical int64    `json:"critical"`
+}
+
+// KindJobState is the Kind value of JobStateEvent.
+const KindJobState = "job_state"
+
+func (s *Service) stateEvent(j *job) JobStateEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateEventLocked(j)
+}
+
+func (s *Service) stateEventLocked(j *job) JobStateEvent {
+	return JobStateEvent{
+		Kind:     KindJobState,
+		ID:       j.id,
+		Name:     j.spec.Name,
+		State:    j.state,
+		Error:    j.errMsg,
+		Planned:  j.planned,
+		Done:     j.done,
+		Critical: j.critical,
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabeledSeries(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.LabeledCounter("sfid_campaign_retries_total", "Retries per campaign.", Label{Name: "campaign", Value: "j000001"})
+	a.Add(3)
+	b := reg.LabeledCounter("sfid_campaign_retries_total", "Retries per campaign.", Label{Name: "campaign", Value: "j000002"})
+	b.Inc()
+	reg.LabeledGaugeFunc("sfid_campaign_rate", "Critical rate.", func() float64 { return 0.25 },
+		Label{Name: "campaign", Value: "j000001"})
+	reg.LabeledGauge("sfid_jobs", "Jobs per state.",
+		Label{Name: "state", Value: "running"}, Label{Name: "model", Value: "smallcnn"}).Set(2)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`sfid_campaign_retries_total{campaign="j000001"} 3`,
+		`sfid_campaign_retries_total{campaign="j000002"} 1`,
+		`sfid_campaign_rate{campaign="j000001"} 0.25`,
+		`sfid_jobs{state="running",model="smallcnn"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear exactly once per metric name, not per series.
+	if got := strings.Count(out, "# TYPE sfid_campaign_retries_total counter"); got != 1 {
+		t.Errorf("TYPE line appears %d times, want 1:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# HELP sfid_campaign_retries_total"); got != 1 {
+		t.Errorf("HELP line appears %d times, want 1:\n%s", got, out)
+	}
+	// Series of one name must be adjacent in the output (Prometheus
+	// requires grouped families).
+	first := strings.Index(out, "sfid_campaign_retries_total{")
+	last := strings.LastIndex(out, "sfid_campaign_retries_total{")
+	between := out[first:last]
+	if strings.Contains(between, "\n# ") {
+		t.Errorf("series of the same family are not contiguous:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.LabeledGauge("sfid_test", "Escaping.", Label{Name: "name", Value: "a\"b\\c\nd"}).Set(1)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `sfid_test{name="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestLabeledRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	reg.LabeledCounter("dup", "x.", Label{Name: "a", Value: "1"})
+	mustPanic("duplicate series", func() {
+		reg.LabeledCounter("dup", "x.", Label{Name: "a", Value: "1"})
+	})
+	mustPanic("type conflict across series of one name", func() {
+		reg.LabeledGauge("dup", "x.", Label{Name: "a", Value: "2"})
+	})
+	mustPanic("invalid label name", func() {
+		reg.LabeledGauge("ok", "x.", Label{Name: "0bad", Value: "v"})
+	})
+	// Same name with a new label set is fine.
+	reg.LabeledCounter("dup", "x.", Label{Name: "a", Value: "2"})
+}

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -40,9 +41,10 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // Registry holds named metrics and renders them in the Prometheus text
 // exposition format. Registration (Counter/Gauge/...) is cheap but
 // mutex-guarded and meant for setup time; the returned handles are the
-// lock-free hot-path surface. Metric names must be unique and match the
-// Prometheus grammar; violations panic, as misregistration is a
-// programming error.
+// lock-free hot-path surface. Metric names must match the Prometheus
+// grammar and each (name, label set) series must be unique; all series
+// sharing a name must share a type. Violations panic, as
+// misregistration is a programming error.
 type Registry struct {
 	mu      sync.Mutex
 	entries []*entry
@@ -50,34 +52,81 @@ type Registry struct {
 
 type entry struct {
 	name, help, typ string
+	// labels is the pre-rendered label block (`{k="v",...}`), empty for
+	// unlabeled series.
+	labels string
 	// collect appends the entry's samples (full lines) to w.
 	collect func(w io.Writer) error
 }
 
-var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Label is one name="value" pair attached to a labeled metric series.
+// Values may contain any bytes; they are escaped at render time.
+type Label struct{ Name, Value string }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// renderLabels turns labels into the `{k="v",...}` block, or "" for an
+// empty set. Label names are validated; values are escaped per the
+// exposition-format rules.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if !labelName.MatchString(l.Name) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-func (r *Registry) register(name, help, typ string, collect func(io.Writer) error) {
+func (r *Registry) register(name, labels, help, typ string, collect func(io.Writer) error) {
 	if !metricName.MatchString(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, e := range r.entries {
-		if e.name == name {
-			panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+		if e.name == name && e.labels == labels {
+			panic(fmt.Sprintf("telemetry: duplicate metric series %q", name+labels))
+		}
+		if e.name == name && e.typ != typ {
+			panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, e.typ, typ))
 		}
 	}
-	r.entries = append(r.entries, &entry{name: name, help: help, typ: typ, collect: collect})
+	r.entries = append(r.entries, &entry{name: name, labels: labels, help: help, typ: typ, collect: collect})
 }
 
 // Counter registers and returns a counter.
 func (r *Registry) Counter(name, help string) *Counter {
+	return r.LabeledCounter(name, help)
+}
+
+// LabeledCounter registers and returns a counter series carrying the
+// given labels (e.g. one series per campaign under a shared name).
+func (r *Registry) LabeledCounter(name, help string, labels ...Label) *Counter {
 	c := &Counter{}
-	r.register(name, help, "counter", func(w io.Writer) error {
-		_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	series := name + renderLabels(labels)
+	r.register(name, renderLabels(labels), help, "counter", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", series, c.Value())
 		return err
 	})
 	return c
@@ -86,17 +135,31 @@ func (r *Registry) Counter(name, help string) *Counter {
 // CounterFunc registers a counter whose value is read from fn at
 // scrape time (e.g. an existing atomic tally).
 func (r *Registry) CounterFunc(name, help string, fn func() int64) {
-	r.register(name, help, "counter", func(w io.Writer) error {
-		_, err := fmt.Fprintf(w, "%s %d\n", name, fn())
+	r.LabeledCounterFunc(name, help, fn)
+}
+
+// LabeledCounterFunc registers a labeled counter series whose value is
+// read from fn at scrape time.
+func (r *Registry) LabeledCounterFunc(name, help string, fn func() int64, labels ...Label) {
+	series := name + renderLabels(labels)
+	r.register(name, renderLabels(labels), help, "counter", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", series, fn())
 		return err
 	})
 }
 
 // Gauge registers and returns a gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.LabeledGauge(name, help)
+}
+
+// LabeledGauge registers and returns a gauge series carrying the given
+// labels.
+func (r *Registry) LabeledGauge(name, help string, labels ...Label) *Gauge {
 	g := &Gauge{}
-	r.register(name, help, "gauge", func(w io.Writer) error {
-		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+	series := name + renderLabels(labels)
+	r.register(name, renderLabels(labels), help, "gauge", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", series, formatFloat(g.Value()))
 		return err
 	})
 	return g
@@ -105,8 +168,15 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // GaugeFunc registers a gauge whose value is read from fn at scrape
 // time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	r.register(name, help, "gauge", func(w io.Writer) error {
-		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn()))
+	r.LabeledGaugeFunc(name, help, fn)
+}
+
+// LabeledGaugeFunc registers a labeled gauge series whose value is read
+// from fn at scrape time.
+func (r *Registry) LabeledGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	series := name + renderLabels(labels)
+	r.register(name, renderLabels(labels), help, "gauge", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", series, formatFloat(fn()))
 		return err
 	})
 }
@@ -118,7 +188,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // elided — cumulative counts make them redundant — keeping scrapes
 // compact.
 func (r *Registry) Histogram(name, help string, h *evalstats.Histogram) {
-	r.register(name, help, "histogram", func(w io.Writer) error {
+	r.register(name, "", help, "histogram", func(w io.Writer) error {
 		s := h.Snapshot()
 		last := 0
 		for i, n := range s.Buckets {
@@ -148,21 +218,32 @@ func (r *Registry) Histogram(name, help string, h *evalstats.Histogram) {
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WritePrometheus renders every registered metric in the text
-// exposition format, in name order.
+// exposition format, in (name, labels) order. Series sharing a name are
+// grouped under a single HELP/TYPE header (the first registered help
+// string wins), as the exposition format requires.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	entries := make([]*entry, len(r.entries))
 	copy(entries, r.entries)
 	r.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	prev := ""
 	for _, e := range entries {
-		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+		if e.name != prev {
+			prev = e.name
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.typ); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.typ); err != nil {
-			return err
 		}
 		if err := e.collect(w); err != nil {
 			return err

@@ -44,6 +44,7 @@ package sfi
 
 import (
 	"io"
+	"net/http"
 	"time"
 
 	"cnnsfi/internal/core"
@@ -58,6 +59,7 @@ import (
 	"cnnsfi/internal/oracle"
 	"cnnsfi/internal/quantize"
 	"cnnsfi/internal/reliability"
+	"cnnsfi/internal/service"
 	"cnnsfi/internal/stats"
 	"cnnsfi/internal/train"
 )
@@ -192,6 +194,46 @@ var (
 	ErrCheckpointPlan    = core.ErrCheckpointPlan
 	ErrCheckpointWorkers = core.ErrCheckpointWorkers
 )
+
+// CheckpointInfo is the engine-independent summary of a checkpoint
+// file (schema version, seed, plan fingerprint, writing worker count,
+// restored injection prefix); ReadCheckpointInfo reads one following
+// the engine's corrupt-primary → .bak recovery ladder. The sfid service
+// reports per-job recovery state through it.
+type CheckpointInfo = core.CheckpointInfo
+
+// ReadCheckpointInfo reads and CRC-verifies the checkpoint at path.
+func ReadCheckpointInfo(path string) (CheckpointInfo, error) {
+	return core.ReadCheckpointInfo(path)
+}
+
+// Campaign service layer (the sfid daemon and sfictl client are built
+// on these; see docs/API.md and docs/OPERATIONS.md).
+type (
+	// ServiceConfig parameterises a campaign Service.
+	ServiceConfig = service.Config
+	// Service schedules many campaigns against one shared worker pool
+	// with FIFO fairness, priorities, and queue backpressure.
+	Service = service.Service
+	// CampaignSpec is the submitted description of one campaign job.
+	CampaignSpec = service.CampaignSpec
+	// JobStatus is the externally visible snapshot of one job.
+	JobStatus = service.JobStatus
+	// JobState is one node of the job lifecycle state machine.
+	JobState = service.JobState
+	// ServiceRoute documents one HTTP endpoint of the sfid API.
+	ServiceRoute = service.Route
+)
+
+// NewService opens the state directory, recovers persisted jobs, and
+// starts scheduling.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// ServiceMux builds the sfid HTTP handler over a Service.
+func ServiceMux(s *Service) *http.ServeMux { return service.NewMux(s) }
+
+// ServiceRoutes returns the full sfid endpoint table.
+func ServiceRoutes() []ServiceRoute { return service.Routes() }
 
 // Floating-point formats for the data-aware analysis.
 var (
