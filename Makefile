@@ -5,7 +5,8 @@
 #   make race    run the concurrency-relevant packages under the race
 #                detector (slow: real inference under -race)
 #   make vet     static analysis
-#   make bench   the serial-vs-parallel runner benchmarks
+#   make bench   the serial-vs-parallel runner benchmarks, plus the
+#                batched-engine and grouped-experiment hot-path prices
 #   make fuzz-smoke  run every fuzz target for a short budget (the CI
 #                fuzz stage; seed corpora live in testdata/fuzz/)
 #   make trace-smoke  record a tiny traced campaign, replay it with
@@ -37,7 +38,7 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run xxx -bench BenchmarkParallel_ -benchtime 3x .
+	$(GO) test -run xxx -bench 'BenchmarkParallel_|BenchmarkEngine_Batched|BenchmarkIsCritical_Grouped' -benchtime 3x .
 
 # `go test -fuzz` accepts one target per invocation, so loop over every
 # Fuzz function in the packages that define them.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cnnsfi/internal/faultmodel"
@@ -188,6 +189,24 @@ func runIsolated(fn func() verdict) (v verdict) {
 	return fn()
 }
 
+// abandonedLanes counts watchdog-abandoned lanes whose goroutine has
+// not yet exited — each is one goroutine still pinned by a hung (or
+// slow) experiment. The count rises when a timeout abandons a lane and
+// falls when the abandoned lane's experiment finally returns and its
+// goroutine exits; a lane that never returns keeps the count raised
+// permanently, which is exactly the goroutine leak the gauge makes
+// visible. Lanes released cleanly (worker shutdown, post-failure
+// refresh) are never counted: their goroutines exit immediately.
+var abandonedLanes atomic.Int64
+
+// WatchdogAbandonedLanes returns the number of watchdog-abandoned lane
+// goroutines currently alive, process-wide. Exported as the
+// sfi_watchdog_abandoned_lanes gauge by cmd/sfirun's metrics endpoint;
+// a value that stays above zero after campaigns finish means hung
+// experiments are holding goroutines (and one evaluator clone each)
+// forever.
+func WatchdogAbandonedLanes() int64 { return abandonedLanes.Load() }
+
 // supLane is a helper goroutine experiments run on when a watchdog
 // timeout is configured, so a hung IsCritical can be abandoned without
 // stalling the worker. out is buffered: an abandoned lane's final send
@@ -195,6 +214,11 @@ func runIsolated(fn func() verdict) (v verdict) {
 type supLane struct {
 	in  chan func() verdict
 	out chan verdict
+	// abandoned is set (before in is closed, so the lane goroutine
+	// observes it after its range loop ends) only by a watchdog-timeout
+	// abandonment; it tells the exiting goroutine to decrement
+	// abandonedLanes.
+	abandoned atomic.Bool
 }
 
 func startLane() *supLane {
@@ -202,6 +226,9 @@ func startLane() *supLane {
 	go func() {
 		for fn := range l.in {
 			l.out <- runIsolated(fn)
+		}
+		if l.abandoned.Load() {
+			abandonedLanes.Add(-1)
 		}
 	}()
 	return l
@@ -211,6 +238,16 @@ func startLane() *supLane {
 // its in-flight experiment returns (a truly hung call leaks exactly one
 // goroutine, which is why retries run on a fresh evaluator).
 func (l *supLane) abandon() { close(l.in) }
+
+// abandonTimedOut is abandon for the watchdog-timeout path: the lane is
+// counted in the abandoned-lanes gauge until its goroutine exits. The
+// flag and increment precede close(in) so the goroutine's post-loop
+// load is ordered after them (channel close is the synchronising edge).
+func (l *supLane) abandonTimedOut() {
+	l.abandoned.Store(true)
+	abandonedLanes.Add(1)
+	close(l.in)
+}
 
 // supWorker is one worker's supervision state: its current evaluator
 // (replaced after any failure) and its watchdog lane.
@@ -253,7 +290,7 @@ func (w *supWorker) attempt(fn func(Evaluator) verdict) verdict {
 	case v := <-w.lane.out:
 		return v
 	case <-timer.C:
-		w.lane.abandon()
+		w.lane.abandonTimedOut()
 		w.lane = nil
 		return verdict{timedOut: true}
 	}

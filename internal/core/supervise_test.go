@@ -334,3 +334,49 @@ func TestEngineRejectsNegativeExperimentTimeout(t *testing.T) {
 		t.Fatalf("err = %v, want negative-timeout rejection", err)
 	}
 }
+
+// TestWatchdogAbandonedLanesGauge pins the abandoned-lane accounting
+// that makes the PR 5 goroutine leak observable: a timed-out experiment
+// raises WatchdogAbandonedLanes by one for as long as its lane
+// goroutine is pinned by the hung call, and the gauge falls back once
+// the call finally returns and the goroutine exits. Cleanly released
+// lanes (worker shutdown) must never move the gauge. Assertions are
+// deltas against a base snapshot — the counter is process-wide.
+func TestWatchdogAbandonedLanesGauge(t *testing.T) {
+	base := WatchdogAbandonedLanes()
+	sup := &supervisor{timeout: 20 * time.Millisecond}
+
+	// A clean lifecycle first: fast experiment, then worker shutdown.
+	w := &supWorker{sup: sup}
+	if v := w.attempt(func(Evaluator) verdict { return verdict{decoded: true} }); v.failed() {
+		t.Fatalf("fast experiment failed: %+v", v)
+	}
+	w.close()
+	if got := WatchdogAbandonedLanes() - base; got != 0 {
+		t.Fatalf("gauge delta = %d after a clean lane release, want 0", got)
+	}
+
+	// Now a hung experiment: the watchdog abandons the lane and the
+	// gauge must show the pinned goroutine until the hang is released.
+	release := make(chan struct{})
+	w = &supWorker{sup: sup}
+	v := w.attempt(func(Evaluator) verdict {
+		<-release
+		return verdict{decoded: true}
+	})
+	if !v.timedOut {
+		t.Fatalf("verdict = %+v, want a watchdog timeout", v)
+	}
+	if got := WatchdogAbandonedLanes() - base; got < 1 {
+		t.Fatalf("gauge delta = %d while an abandoned experiment hangs, want >= 1", got)
+	}
+
+	close(release) // the hung call returns; the abandoned goroutine exits
+	deadline := time.Now().Add(5 * time.Second)
+	for WatchdogAbandonedLanes()-base != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge delta still %d after the hang was released", WatchdogAbandonedLanes()-base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,237 @@
+package inject
+
+// Batched evaluation: the same experiment loop as IsCritical /
+// MismatchCount, but the per-image suffix re-execution is replaced by
+// one batched suffix pass per image *chunk* (nn.ExecBatchFromScratch).
+// The graph-walk and patch-gather overhead that the unbatched path pays
+// once per image is paid once per chunk, and the batched kernels keep
+// per-element accumulation order identical to the single-image kernels,
+// so verdicts — and the EvalStats breakdown — are bit-identical to the
+// unbatched path. SetBatchSize opts in; the default remains unbatched.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/nn"
+	"cnnsfi/internal/tensor"
+)
+
+// SetBatchSize selects how many evaluation images each faulted forward
+// pass evaluates at once. n <= 1 restores the default unbatched path; n
+// larger than the evaluation set is clamped by construction (the final
+// chunk simply holds the remainder). Changing the size discards any
+// previously built batched golden state, which is rebuilt lazily on the
+// next evaluated experiment. Verdicts and EvalStats are bit-identical at
+// every batch size; only wall time changes. Call it before the campaign
+// starts and before cloning — clones inherit the size (and any state
+// already built) at clone time. Goroutine-level parallelism inside one
+// batched pass is a separate, orthogonal knob: Net.SetBatchParallelism.
+func (inj *Injector) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n == inj.batch {
+		return
+	}
+	inj.batch = n
+	inj.batchInputs = nil
+	inj.batchCaches = nil
+	inj.batchScratch = nil
+}
+
+// BatchSize returns the configured batch size (0 or 1 mean unbatched).
+func (inj *Injector) BatchSize() int { return inj.batch }
+
+// batched reports whether experiments should take the batched path.
+// A single-image evaluation set gains nothing from batching, so it
+// stays on the (identical-verdict) unbatched path.
+func (inj *Injector) batched() bool { return inj.batch > 1 && len(inj.images) > 1 }
+
+// ensureBatchState lazily builds the batched golden state: the
+// evaluation images stacked into NCHW chunks of up to batch images, and
+// one batched golden activation cache per chunk. Chunks cover the
+// images in evaluation-set order, so image i lives at position
+// i%batch of chunk i/batch and the batched loops visit images in the
+// exact order the unbatched loops do. Must be called while the network
+// is fault-free (before the experiment's mutate step) so the caches are
+// golden. The built state is immutable and shared with clones taken
+// afterwards.
+func (inj *Injector) ensureBatchState() {
+	if inj.batchInputs != nil {
+		return
+	}
+	sz := inj.images[0].Len()
+	shape := inj.images[0].Shape
+	for i := 0; i < len(inj.images); i += inj.batch {
+		nb := min(inj.batch, len(inj.images)-i)
+		in := tensor.New(append([]int{nb}, shape...)...)
+		for n := 0; n < nb; n++ {
+			copy(in.Data[n*sz:(n+1)*sz], inj.images[i+n].Data)
+		}
+		inj.batchInputs = append(inj.batchInputs, in)
+		inj.batchCaches = append(inj.batchCaches, inj.Net.ExecBatch(in))
+	}
+}
+
+// batchScratchBuf returns the reusable per-experiment batched cache
+// view; per-instance (never shared with clones), like scratchBuf.
+func (inj *Injector) batchScratchBuf() []*tensor.Tensor {
+	if len(inj.batchScratch) != len(inj.Net.Nodes) {
+		inj.batchScratch = make([]*tensor.Tensor, len(inj.Net.Nodes))
+	}
+	return inj.batchScratch
+}
+
+// faultChannel returns the output channel of the faulted layer that a
+// single weight fault can affect, or -1 when channel locality is
+// unknown for the layer type. A Conv2D weight at Param belongs to
+// exactly one output channel (its W is laid out oc-major), so a fault
+// there leaves every other channel's output bit-identical to golden —
+// the knowledge ExecBatchFromScratchChannel turns into a partial
+// recompute of the faulted node.
+func (inj *Injector) faultChannel(f faultmodel.Fault) int {
+	if c, ok := inj.layers[f.Layer].(*nn.Conv2D); ok {
+		return f.Param / (c.InC / c.Groups * c.KH * c.KW)
+	}
+	return -1
+}
+
+// isCriticalBatched is IsCritical's batched twin: identical counting,
+// masked short-circuit, inline mutate-and-restore and classification —
+// only the evaluation loop differs, running one arena suffix pass per
+// chunk instead of per image. SDC still exits on the first mismatching
+// image (skipping any remaining chunks), and earlyExits counts exactly
+// the cases the unbatched path counts: a mismatch on any image but the
+// last.
+func (inj *Injector) isCriticalBatched(f faultmodel.Fault) bool {
+	inj.countInjection()
+	c := inj.stats()
+	if inj.Masked(f) {
+		atomic.AddInt64(&c.skipped, 1)
+		return false
+	}
+	atomic.AddInt64(&c.evaluated, 1)
+	inj.ensureBatchState() // before the mutate below: caches must be golden
+	var start time.Time
+	if inj.latency != nil {
+		start = time.Now()
+	}
+
+	w := inj.layers[f.Layer].WeightData()
+	old := w[f.Param]
+	w[f.Param] = faultValue(old, f)
+	defer func() {
+		w[f.Param] = old
+		inj.publishArenaGrowth(c)
+		if inj.latency != nil {
+			inj.latency.Observe(time.Since(start))
+		}
+	}()
+
+	from := inj.nodes[f.Layer]
+	oc := inj.faultChannel(f)
+	scratch := inj.batchScratchBuf()
+
+	mismatches := 0
+	correct := 0
+	img := 0
+	for ci, in := range inj.batchInputs {
+		copy(scratch, inj.batchCaches[ci])
+		out := inj.Net.ExecBatchFromScratchChannel(in, scratch, from, oc)
+		nb := in.Shape[0]
+		k := out.Len() / nb
+		for n := 0; n < nb; n++ {
+			pred := predictCheckedSlice(out.Data[n*k : (n+1)*k])
+			if pred != inj.golden[img] {
+				mismatches++
+				if inj.Criterion == SDC {
+					if img < len(inj.images)-1 {
+						atomic.AddInt64(&c.earlyExits, 1)
+					}
+					return true
+				}
+			}
+			if pred == inj.labels[img] {
+				correct++
+			}
+			img++
+		}
+	}
+
+	switch inj.Criterion {
+	case SDC:
+		return mismatches > 0
+	case AccuracyDrop:
+		return float64(correct)/float64(len(inj.images)) < inj.acc
+	case MismatchRate:
+		return float64(mismatches)/float64(len(inj.images)) > inj.Threshold
+	default:
+		panic(fmt.Sprintf("inject: unsupported criterion %v", inj.Criterion))
+	}
+}
+
+// mismatchCountBatched is MismatchCount's batched twin (no early exit).
+func (inj *Injector) mismatchCountBatched(f faultmodel.Fault) int {
+	inj.countInjection()
+	c := inj.stats()
+	if inj.Masked(f) {
+		atomic.AddInt64(&c.skipped, 1)
+		return 0
+	}
+	atomic.AddInt64(&c.evaluated, 1)
+	inj.ensureBatchState()
+	var start time.Time
+	if inj.latency != nil {
+		start = time.Now()
+	}
+
+	w := inj.layers[f.Layer].WeightData()
+	old := w[f.Param]
+	w[f.Param] = faultValue(old, f)
+	defer func() {
+		w[f.Param] = old
+		inj.publishArenaGrowth(c)
+		if inj.latency != nil {
+			inj.latency.Observe(time.Since(start))
+		}
+	}()
+
+	from := inj.nodes[f.Layer]
+	oc := inj.faultChannel(f)
+	scratch := inj.batchScratchBuf()
+	mismatches := 0
+	img := 0
+	for ci, in := range inj.batchInputs {
+		copy(scratch, inj.batchCaches[ci])
+		out := inj.Net.ExecBatchFromScratchChannel(in, scratch, from, oc)
+		nb := in.Shape[0]
+		k := out.Len() / nb
+		for n := 0; n < nb; n++ {
+			if predictCheckedSlice(out.Data[n*k:(n+1)*k]) != inj.golden[img] {
+				mismatches++
+			}
+			img++
+		}
+	}
+	return mismatches
+}
+
+// predictCheckedSlice is predictChecked over one image's slice of a
+// batched output tensor: any NaN maps to -1, otherwise the first-
+// occurrence argmax (tensor.ArgMax semantics, including -1 for empty).
+func predictCheckedSlice(data []float32) int {
+	idx := -1
+	var best float32
+	for i, v := range data {
+		if v != v {
+			return -1
+		}
+		if idx == -1 || v > best {
+			best, idx = v, i
+		}
+	}
+	return idx
+}

@@ -124,6 +124,18 @@ type Injector struct {
 	// scratch is this injector's reusable node-output slice for the hot
 	// path; per-instance (not shared with clones) like Net's arena.
 	scratch []*tensor.Tensor
+
+	// batch is the opt-in evaluation batch size (SetBatchSize); 0 and 1
+	// both mean the default unbatched path. The three fields below are
+	// the lazily built batched golden state: the evaluation images
+	// stacked into NCHW chunks, one batched golden activation cache per
+	// chunk (both immutable once built, shared with clones taken after
+	// the build), and the per-instance batched cache view (never
+	// shared, like scratch).
+	batch        int
+	batchInputs  []*tensor.Tensor
+	batchCaches  [][]*tensor.Tensor
+	batchScratch []*tensor.Tensor
 	// arenaSeen is how much of Net's arena growth this injector has
 	// already published to counters.ArenaBytes (owner-only state).
 	arenaSeen int64
@@ -218,6 +230,13 @@ func (inj *Injector) Clone() *Injector {
 		count:     inj.count,
 		counters:  inj.stats(),
 		latency:   inj.latency,
+
+		// Batched golden state is immutable once built: clones share
+		// it like the unbatched caches, and each clone lazily builds
+		// its own private batchScratch.
+		batch:       inj.batch,
+		batchInputs: inj.batchInputs,
+		batchCaches: inj.batchCaches,
 	}
 	if c.count == nil { // zero-value parent never initialised its counter
 		c.count = &inj.Injections
@@ -368,7 +387,14 @@ func (inj *Injector) Apply(f faultmodel.Fault) (restore func()) {
 // The evaluation loop is allocation-free in steady state: node outputs
 // come from the network's scratch arena (ExecFromScratch) and the
 // per-experiment cache view is a reused per-injector slice.
+//
+// When a batch size has been configured (SetBatchSize), the experiment
+// runs on the batched twin instead — same verdicts, same EvalStats,
+// fewer suffix passes (one per image chunk).
 func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
+	if inj.batched() {
+		return inj.isCriticalBatched(f)
+	}
 	inj.countInjection()
 	c := inj.stats()
 	if inj.Masked(f) {
@@ -433,6 +459,9 @@ func (inj *Injector) IsCritical(f faultmodel.Fault) bool {
 // short-circuit to 0, and the evaluation loop shares IsCritical's
 // allocation-free arena path.
 func (inj *Injector) MismatchCount(f faultmodel.Fault) int {
+	if inj.batched() {
+		return inj.mismatchCountBatched(f)
+	}
 	inj.countInjection()
 	c := inj.stats()
 	if inj.Masked(f) {

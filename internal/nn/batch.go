@@ -1,0 +1,727 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"cnnsfi/internal/tensor"
+)
+
+// This file is the batched execution seam: every layer in the package
+// processes a whole batch (leading N dimension: NCHW activations, [N, F]
+// vectors) in one ForwardBatch call. The contract is strict bit-identity
+// with the single-image path — for every image n in the batch, the
+// output slice [n·len : (n+1)·len] equals Forward on image n bit for
+// bit. The batched kernels therefore reproduce the single-image kernels'
+// per-element accumulation order exactly (GEMM accumulates k-ascending
+// with zero-weight skips and is never blocked over k; pooling windows
+// scan in the same ky→kx order), and may only differ in how they skip
+// work that contributes nothing (padding positions are elided by
+// precomputed valid ranges instead of per-element bounds tests).
+//
+// Parallelism: par is the goroutine budget for one batched call. par <= 1
+// runs serially with zero goroutines and zero heap allocations (the hot
+// path); par > 1 splits the batch (or the (channel, image) tile grid for
+// the GEMM) into contiguous chunks, each computed by exactly one
+// goroutine in the same serial order, so results are bit-identical at
+// any par. Spawning allocates, which is the documented trade of
+// parallelism for wall time. Arena allocations are always performed
+// before any goroutine starts: the arena stays single-owner, the
+// goroutines only write into pre-issued buffers.
+
+// BatchLayer is a Layer that can process a batched input (leading N
+// dimension) in one call. Every layer in this package implements it; the
+// executor falls back to per-image Forward for out-of-tree layers.
+type BatchLayer interface {
+	Layer
+	// ForwardBatch applies the layer to batched inputs, drawing the
+	// output (and any scratch) from a when non-nil. par is the maximum
+	// number of goroutines the call may use; par <= 1 must run serially
+	// and allocation-free on the arena path. For every image in the
+	// batch the result must be bit-identical to Forward on that image.
+	ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor
+}
+
+// batchRange splits [0, n) into at most par contiguous chunks and runs
+// fn on each chunk in its own goroutine, returning when all are done.
+// Callers handle the serial case themselves (a direct call to the chunk
+// kernel) so that the closure passed here is only ever created on the
+// parallel path — keeping the serial hot path allocation-free.
+func batchRange(par, n int, fn func(lo, hi int)) {
+	if par > n {
+		par = n
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		lo, hi := g*n/par, (g+1)*n/par
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// batchDims returns the batch size and per-image element count of a
+// batched tensor.
+func batchDims(x *tensor.Tensor) (nb, sz int) {
+	nb = x.Shape[0]
+	if nb <= 0 {
+		panic(fmt.Sprintf("nn: batched tensor with batch size %d", nb))
+	}
+	return nb, x.Len() / nb
+}
+
+// ForwardBatch implements BatchLayer.
+func (r *ReLU) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	out := outTensor(a, x.Shape...)
+	if par <= 1 || nb <= 1 {
+		reluKernel(x.Data, out.Data)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		reluKernel(x.Data[lo*sz:hi*sz], out.Data[lo*sz:hi*sz])
+	})
+	return out
+}
+
+func reluKernel(in, out []float32) {
+	for i, v := range in {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (r *ReLU6) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	out := outTensor(a, x.Shape...)
+	if par <= 1 || nb <= 1 {
+		relu6Kernel(x.Data, out.Data)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		relu6Kernel(x.Data[lo*sz:hi*sz], out.Data[lo*sz:hi*sz])
+	})
+	return out
+}
+
+func relu6Kernel(in, out []float32) {
+	for i, v := range in {
+		switch {
+		case v <= 0:
+		case v >= 6:
+			out[i] = 6
+		default:
+			out[i] = v
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (a *Add) ForwardBatch(ar *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x, y := inputs[0], inputs[1]
+	if !tensor.SameShape(x, y) {
+		panic(fmt.Sprintf("nn: Add shape mismatch %v vs %v", x.Shape, y.Shape))
+	}
+	nb, sz := batchDims(x)
+	out := outTensor(ar, x.Shape...)
+	if par <= 1 || nb <= 1 {
+		addKernel(x.Data, y.Data, out.Data)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		addKernel(x.Data[lo*sz:hi*sz], y.Data[lo*sz:hi*sz], out.Data[lo*sz:hi*sz])
+	})
+	return out
+}
+
+func addKernel(x, y, out []float32) {
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (g *GlobalAvgPool) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	out := outTensor(a, nb, c)
+	if par <= 1 || nb <= 1 {
+		gapKernel(x.Data, out.Data, 0, nb, c, h*w, sz)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		gapKernel(x.Data, out.Data, lo, hi, c, h*w, sz)
+	})
+	return out
+}
+
+func gapKernel(in, out []float32, lo, hi, c, plane, sz int) {
+	area := float32(plane)
+	for n := lo; n < hi; n++ {
+		img := in[n*sz : (n+1)*sz]
+		o := out[n*c : (n+1)*c]
+		for ci := 0; ci < c; ci++ {
+			var sum float32
+			for _, v := range img[ci*plane : (ci+1)*plane] {
+				sum += v
+			}
+			o[ci] = sum / area
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (p *AvgPool2D) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-p.Kernel)/p.Stride + 1
+	ow := (w-p.Kernel)/p.Stride + 1
+	out := outTensor(a, nb, c, oh, ow)
+	osz := c * oh * ow
+	if par <= 1 || nb <= 1 {
+		p.kernelRange(x.Data, out.Data, 0, nb, c, h, w, oh, ow, sz, osz)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		p.kernelRange(x.Data, out.Data, lo, hi, c, h, w, oh, ow, sz, osz)
+	})
+	return out
+}
+
+// kernelRange applies average pooling to images [lo, hi): the same
+// window scan (ky outer, kx inner) and the same summation order as the
+// single-image kernel.
+func (p *AvgPool2D) kernelRange(in, out []float32, lo, hi, c, h, w, oh, ow, sz, osz int) {
+	norm := float32(p.Kernel * p.Kernel)
+	for n := lo; n < hi; n++ {
+		img := in[n*sz : (n+1)*sz]
+		o := out[n*osz : (n+1)*osz]
+		for ci := 0; ci < c; ci++ {
+			plane := img[ci*h*w : (ci+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					for ky := 0; ky < p.Kernel; ky++ {
+						row := plane[(oy*p.Stride+ky)*w+ox*p.Stride:]
+						for kx := 0; kx < p.Kernel; kx++ {
+							sum += row[kx]
+						}
+					}
+					o[(ci*oh+oy)*ow+ox] = sum / norm
+				}
+			}
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (p *MaxPool2D) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-p.Kernel)/p.Stride + 1
+	ow := (w-p.Kernel)/p.Stride + 1
+	out := outTensor(a, nb, c, oh, ow)
+	osz := c * oh * ow
+	if par <= 1 || nb <= 1 {
+		p.kernelRange(x.Data, out.Data, 0, nb, c, h, w, oh, ow, sz, osz)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		p.kernelRange(x.Data, out.Data, lo, hi, c, h, w, oh, ow, sz, osz)
+	})
+	return out
+}
+
+// kernelRange applies max pooling to images [lo, hi), seeding each
+// window with its top-left element and scanning ky→kx exactly like the
+// single-image kernel (same comparisons, same NaN semantics).
+func (p *MaxPool2D) kernelRange(in, out []float32, lo, hi, c, h, w, oh, ow, sz, osz int) {
+	for n := lo; n < hi; n++ {
+		img := in[n*sz : (n+1)*sz]
+		o := out[n*osz : (n+1)*osz]
+		for ci := 0; ci < c; ci++ {
+			plane := img[ci*h*w : (ci+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := plane[(oy*p.Stride)*w+ox*p.Stride]
+					for ky := 0; ky < p.Kernel; ky++ {
+						row := plane[(oy*p.Stride+ky)*w+ox*p.Stride:]
+						for kx := 0; kx < p.Kernel; kx++ {
+							if v := row[kx]; v > best {
+								best = v
+							}
+						}
+					}
+					o[(ci*oh+oy)*ow+ox] = best
+				}
+			}
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (f *Flatten) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	out := outTensor(a, nb, sz)
+	copy(out.Data, x.Data)
+	return out
+}
+
+// ForwardBatch implements BatchLayer.
+func (s *ShortcutA) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h + s.Stride - 1) / s.Stride
+	ow := (w + s.Stride - 1) / s.Stride
+	out := outTensor(a, nb, s.OutC, oh, ow)
+	osz := s.OutC * oh * ow
+	if par <= 1 || nb <= 1 {
+		s.kernelRange(x.Data, out.Data, 0, nb, c, h, w, oh, ow, sz, osz)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		s.kernelRange(x.Data, out.Data, lo, hi, c, h, w, oh, ow, sz, osz)
+	})
+	return out
+}
+
+// kernelRange subsamples images [lo, hi); channels ≥ c stay at the zero
+// fill of the output tensor (the implicit channel padding).
+func (s *ShortcutA) kernelRange(in, out []float32, lo, hi, c, h, w, oh, ow, sz, osz int) {
+	for n := lo; n < hi; n++ {
+		img := in[n*sz : (n+1)*sz]
+		o := out[n*osz : (n+1)*osz]
+		for ci := 0; ci < c && ci < s.OutC; ci++ {
+			plane := img[ci*h*w : (ci+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				row := plane[(oy*s.Stride)*w:]
+				orow := o[(ci*oh+oy)*ow:]
+				for ox := 0; ox < ow; ox++ {
+					orow[ox] = row[ox*s.Stride]
+				}
+			}
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (b *BatchNorm2D) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	if b.scale == nil {
+		b.Refold()
+	}
+	if x.Shape[1] != b.C {
+		panic(fmt.Sprintf("nn: batchnorm %q expects %d channels, got %d", b.Label, b.C, x.Shape[1]))
+	}
+	nb, sz := batchDims(x)
+	out := outTensor(a, x.Shape...)
+	plane := x.Shape[2] * x.Shape[3]
+	if par <= 1 || nb <= 1 {
+		b.kernelRange(x.Data, out.Data, 0, nb, plane, sz)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		b.kernelRange(x.Data, out.Data, lo, hi, plane, sz)
+	})
+	return out
+}
+
+func (b *BatchNorm2D) kernelRange(in, out []float32, lo, hi, plane, sz int) {
+	for n := lo; n < hi; n++ {
+		for c := 0; c < b.C; c++ {
+			s, sh := b.scale[c], b.shift[c]
+			src := in[n*sz+c*plane : n*sz+(c+1)*plane]
+			o := out[n*sz+c*plane : n*sz+(c+1)*plane]
+			for i, v := range src {
+				o[i] = s*v + sh
+			}
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer.
+func (l *Linear) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	nb, sz := batchDims(x)
+	if sz != l.In {
+		panic(fmt.Sprintf("nn: linear %q expects %d inputs, got %d", l.Label, l.In, sz))
+	}
+	out := outTensor(a, nb, l.Out)
+	if par <= 1 || nb <= 1 {
+		l.kernelRange(x.Data, out.Data, 0, nb)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		l.kernelRange(x.Data, out.Data, lo, hi)
+	})
+	return out
+}
+
+func (l *Linear) kernelRange(in, out []float32, lo, hi int) {
+	for n := lo; n < hi; n++ {
+		xRow := in[n*l.In : (n+1)*l.In]
+		oRow := out[n*l.Out : (n+1)*l.Out]
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			var sum float32
+			for i, v := range xRow {
+				sum += row[i] * v
+			}
+			if l.Bias != nil {
+				sum += l.Bias[o]
+			}
+			oRow[o] = sum
+		}
+	}
+}
+
+// ForwardBatch implements BatchLayer. The algorithm choice (direct vs
+// im2col) is the same per-layer decision as the single-image path — the
+// two algorithms are not bit-interchangeable under faults (a padding tap
+// is skipped by direct but multiplied by zero in im2col, which differs
+// for NaN/Inf weights), so the batched executor must never switch.
+func (c *Conv2D) ForwardBatch(a *tensor.Arena, par int, inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	if x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: conv %q expects %d input channels, got %d", c.Label, c.InC, x.Shape[1]))
+	}
+	nb, sz := batchDims(x)
+	h, w := x.Shape[2], x.Shape[3]
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	if c.useIm2col(oh, ow) {
+		return c.forwardBatchIm2col(a, par, x, nb, h, w, oh, ow)
+	}
+	out := outTensor(a, nb, c.OutC, oh, ow)
+	osz := c.OutC * oh * ow
+	if par <= 1 || nb <= 1 {
+		c.directRange(x.Data, out.Data, 0, nb, h, w, oh, ow, sz, osz)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		c.directRange(x.Data, out.Data, lo, hi, h, w, oh, ow, sz, osz)
+	})
+	return out
+}
+
+// validRange returns the sub-range [lo, hi) of [0, n) whose indices i
+// satisfy 0 <= i*stride+offset < limit — the output positions whose
+// input tap lands inside the image. Iterating it ascending visits
+// exactly the positions the bounds-checked single-image loop visits, in
+// the same order.
+func validRange(limit, stride, offset, n int) (lo, hi int) {
+	if stride == 1 {
+		return validRange1(limit, offset, n)
+	}
+	lo, hi = 0, n
+	if offset < 0 {
+		lo = (-offset + stride - 1) / stride
+	}
+	if m := limit - offset; m <= 0 {
+		return 0, 0
+	} else if q := (m-1)/stride + 1; q < hi {
+		hi = q
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// validRange1 is validRange specialised for stride 1: no divisions, so
+// the hot per-tap call costs a handful of ALU ops. An empty range may
+// come back as (lo, lo) rather than (0, 0); callers only iterate it.
+func validRange1(limit, offset, n int) (lo, hi int) {
+	lo = 0
+	if offset < 0 {
+		lo = -offset
+	}
+	hi = limit - offset
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// directRange computes the direct convolution of images [lo, hi). The
+// accumulation order per output element is identical to the single-image
+// direct kernel — taps in (icLocal, ky, kx) order with zero-weight skips
+// — but out-of-bounds taps are elided by precomputed valid ranges
+// instead of per-element tests, and the stride-1 inner loop runs over
+// aligned slices.
+func (c *Conv2D) directRange(in, out []float32, lo, hi, h, w, oh, ow, sz, osz int) {
+	c.directRangeOC(in, out, lo, hi, 0, c.OutC, h, w, oh, ow, sz, osz)
+}
+
+// directRangeOC is directRange restricted to output channels
+// [ocLo, ocHi). The oc loop of the direct kernel is embarrassingly
+// independent — each channel accumulates from its own weight rows only —
+// so restricting it yields bit-identical planes for the channels it does
+// compute; ExecBatchFromScratchChannel uses that to recompute just the
+// faulted channel of the faulted layer.
+func (c *Conv2D) directRangeOC(in, out []float32, lo, hi, ocLo, ocHi, h, w, oh, ow, sz, osz int) {
+	icg := c.InC / c.Groups
+	ocg := c.OutC / c.Groups
+	ksize := icg * c.KH * c.KW
+	stride1 := c.Stride == 1
+	for n := lo; n < hi; n++ {
+		img := in[n*sz : (n+1)*sz]
+		o := out[n*osz : (n+1)*osz]
+		for oc := ocLo; oc < ocHi; oc++ {
+			g := oc / ocg
+			wBase := oc * ksize
+			outPlane := o[oc*oh*ow : (oc+1)*oh*ow]
+			for icLocal := 0; icLocal < icg; icLocal++ {
+				ic := g*icg + icLocal
+				inPlane := img[ic*h*w : (ic+1)*h*w]
+				wOff := wBase + icLocal*c.KH*c.KW
+				for ky := 0; ky < c.KH; ky++ {
+					oyLo, oyHi := validRange(h, c.Stride, ky-c.Pad, oh)
+					for kx := 0; kx < c.KW; kx++ {
+						wv := c.W[wOff+ky*c.KW+kx]
+						if wv == 0 {
+							continue
+						}
+						oxLo, oxHi := validRange(w, c.Stride, kx-c.Pad, ow)
+						if oxLo >= oxHi {
+							continue
+						}
+						if stride1 {
+							if oxLo == 0 && oxHi == ow && ow == w {
+								// Full rows with matching row strides: the
+								// whole (oyHi-oyLo)×ow block is contiguous
+								// in both planes (kx == Pad here, so the
+								// input block starts on a row boundary).
+								// One long loop replaces per-row slicing.
+								src := inPlane[(oyLo+ky-c.Pad)*w : (oyHi+ky-c.Pad)*w]
+								dst := outPlane[oyLo*w:]
+								dst = dst[:len(src)]
+								for i, v := range src {
+									dst[i] += wv * v
+								}
+								continue
+							}
+							for oy := oyLo; oy < oyHi; oy++ {
+								iy := oy + ky - c.Pad
+								src := inPlane[iy*w+oxLo+kx-c.Pad : iy*w+oxHi+kx-c.Pad]
+								dst := outPlane[oy*ow+oxLo:]
+								dst = dst[:len(src)]
+								for i, v := range src {
+									dst[i] += wv * v
+								}
+							}
+							continue
+						}
+						for oy := oyLo; oy < oyHi; oy++ {
+							iy := oy*c.Stride + ky - c.Pad
+							rowOut := outPlane[oy*ow+oxLo : oy*ow+oxHi]
+							ix := oxLo*c.Stride + kx - c.Pad
+							base := inPlane[iy*w:]
+							for i := range rowOut {
+								rowOut[i] += wv * base[ix]
+								ix += c.Stride
+							}
+						}
+					}
+				}
+			}
+			if c.Bias != nil {
+				if bias := c.Bias[oc]; bias != 0 {
+					for i := range outPlane {
+						outPlane[i] += bias
+					}
+				}
+			}
+		}
+	}
+}
+
+// forwardBatchIm2col gathers one patch matrix for the whole batch —
+// buf[k][n·cols + col], row stride nb·cols — and reduces the convolution
+// to a blocked GEMM over (output channel, image) tiles. Blocking never
+// splits the k dimension: each output element accumulates k-ascending
+// with zero-weight skips, exactly like the single-image GEMM, so the
+// tiles can run on any goroutine without changing a single bit.
+func (c *Conv2D) forwardBatchIm2col(a *tensor.Arena, par int, x *tensor.Tensor, nb, h, w, oh, ow int) *tensor.Tensor {
+	cols := oh * ow
+	ksize := c.InC * c.KH * c.KW
+	rowStride := nb * cols
+	buf := c.batchPatchMatrix(a, par, x, nb, h, w, oh, ow)
+
+	// Blocked GEMM over (oc, image) tiles, oc-major so each weight row
+	// streams across the whole batch before the next row is touched.
+	out := outTensor(a, nb, c.OutC, oh, ow)
+	if par <= 1 || nb*c.OutC <= 1 {
+		c.gemmTiles(buf, out.Data, 0, c.OutC*nb, nb, cols, ksize, rowStride)
+		return out
+	}
+	batchRange(par, c.OutC*nb, func(lo, hi int) {
+		c.gemmTiles(buf, out.Data, lo, hi, nb, cols, ksize, rowStride)
+	})
+	return out
+}
+
+// batchPatchMatrix gathers the batched im2col patch matrix
+// buf[k][n·cols + col] (row stride nb·cols) from the arena when one is
+// supplied, the heap otherwise.
+func (c *Conv2D) batchPatchMatrix(a *tensor.Arena, par int, x *tensor.Tensor, nb, h, w, oh, ow int) []float32 {
+	cols := oh * ow
+	ksize := c.InC * c.KH * c.KW
+	rowStride := nb * cols
+	var buf []float32
+	if a != nil {
+		buf = a.Scratch(ksize * rowStride)
+	} else {
+		buf = make([]float32, ksize*rowStride)
+	}
+	imgSz := c.InC * h * w
+	// Gather, one image per column block (parallel over images).
+	if par <= 1 || nb <= 1 {
+		c.gatherRange(x.Data, buf, 0, nb, h, w, oh, ow, imgSz, cols, rowStride)
+	} else {
+		batchRange(par, nb, func(lo, hi int) {
+			c.gatherRange(x.Data, buf, lo, hi, h, w, oh, ow, imgSz, cols, rowStride)
+		})
+	}
+	return buf
+}
+
+// copyGoldenExcept fills out with golden's planes for every output
+// channel except skip, whose plane is left at out's zero fill so the
+// caller can accumulate it from scratch.
+func copyGoldenExcept(out, golden []float32, nb, outC, plane, skip int) {
+	for n := 0; n < nb; n++ {
+		base := n * outC * plane
+		for ch := 0; ch < outC; ch++ {
+			if ch == skip {
+				continue
+			}
+			lo := base + ch*plane
+			copy(out[lo:lo+plane], golden[lo:lo+plane])
+		}
+	}
+}
+
+// forwardBatchChannel computes the conv's batched output with only
+// output channel oc recomputed; every other channel's plane is copied
+// from the golden output (bit-identical by determinism: those channels'
+// weights are untouched and each output channel accumulates
+// independently, in both the direct and the GEMM kernel). The
+// recomputed channel runs the same algorithm the full kernel would —
+// the choice must never differ between paths (see ForwardBatch).
+func (c *Conv2D) forwardBatchChannel(a *tensor.Arena, par int, x, golden *tensor.Tensor, oc int) *tensor.Tensor {
+	nb, sz := batchDims(x)
+	h, w := x.Shape[2], x.Shape[3]
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	cols := oh * ow
+	out := outTensor(a, nb, c.OutC, oh, ow)
+	copyGoldenExcept(out.Data, golden.Data, nb, c.OutC, cols, oc)
+
+	if c.useIm2col(oh, ow) {
+		ksize := c.InC * c.KH * c.KW
+		rowStride := nb * cols
+		buf := c.batchPatchMatrix(a, par, x, nb, h, w, oh, ow)
+		lo, hi := oc*nb, (oc+1)*nb
+		if par <= 1 || nb <= 1 {
+			c.gemmTiles(buf, out.Data, lo, hi, nb, cols, ksize, rowStride)
+			return out
+		}
+		batchRange(par, hi-lo, func(tlo, thi int) {
+			c.gemmTiles(buf, out.Data, lo+tlo, lo+thi, nb, cols, ksize, rowStride)
+		})
+		return out
+	}
+
+	osz := c.OutC * cols
+	if par <= 1 || nb <= 1 {
+		c.directRangeOC(x.Data, out.Data, 0, nb, oc, oc+1, h, w, oh, ow, sz, osz)
+		return out
+	}
+	batchRange(par, nb, func(lo, hi int) {
+		c.directRangeOC(x.Data, out.Data, lo, hi, oc, oc+1, h, w, oh, ow, sz, osz)
+	})
+	return out
+}
+
+// gatherRange fills the batched patch matrix for images [lo, hi). The
+// per-image gather writes the same values as the single-image gather
+// (padding positions stay at the zero fill), using span copies for the
+// stride-1 fast path.
+func (c *Conv2D) gatherRange(in, buf []float32, lo, hi, h, w, oh, ow, imgSz, cols, rowStride int) {
+	for n := lo; n < hi; n++ {
+		img := in[n*imgSz : (n+1)*imgSz]
+		base := n * cols
+		k := 0
+		for ic := 0; ic < c.InC; ic++ {
+			plane := img[ic*h*w : (ic+1)*h*w]
+			for ky := 0; ky < c.KH; ky++ {
+				oyLo, oyHi := validRange(h, c.Stride, ky-c.Pad, oh)
+				for kx := 0; kx < c.KW; kx++ {
+					row := buf[k*rowStride+base : k*rowStride+base+cols]
+					oxLo, oxHi := validRange(w, c.Stride, kx-c.Pad, ow)
+					if oxLo < oxHi {
+						for oy := oyLo; oy < oyHi; oy++ {
+							iy := oy*c.Stride + ky - c.Pad
+							dst := row[oy*ow+oxLo : oy*ow+oxHi]
+							if c.Stride == 1 {
+								copy(dst, plane[iy*w+oxLo+kx-c.Pad:])
+							} else {
+								ix := oxLo*c.Stride + kx - c.Pad
+								src := plane[iy*w:]
+								for i := range dst {
+									dst[i] = src[ix]
+									ix += c.Stride
+								}
+							}
+						}
+					}
+					k++
+				}
+			}
+		}
+	}
+}
+
+// gemmTiles computes output tiles [lo, hi) of the (oc-major) × (image)
+// tile grid: tile t is output channel t/nb of image t%nb. k is never
+// split across tiles.
+func (c *Conv2D) gemmTiles(buf, out []float32, lo, hi, nb, cols, ksize, rowStride int) {
+	for t := lo; t < hi; t++ {
+		oc, n := t/nb, t%nb
+		wRow := c.W[oc*ksize : (oc+1)*ksize]
+		base := n * cols
+		dst := out[(n*c.OutC+oc)*cols : (n*c.OutC+oc+1)*cols]
+		for kk, wv := range wRow {
+			if wv == 0 {
+				continue
+			}
+			src := buf[kk*rowStride+base : kk*rowStride+base+cols]
+			d := dst[:len(src)]
+			for i, v := range src {
+				d[i] += wv * v
+			}
+		}
+		if c.Bias != nil {
+			b := c.Bias[oc]
+			for i := range dst {
+				dst[i] += b
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnnsfi/internal/tensor"
+)
+
+// batchInput stacks nb deterministic test images into one NCHW tensor.
+func batchInput(nb int) *tensor.Tensor {
+	x := tensor.New(nb, 3, 16, 16)
+	sz := 3 * 16 * 16
+	for n := 0; n < nb; n++ {
+		img := testInput(int64(n))
+		copy(x.Data[n*sz:(n+1)*sz], img.Data)
+	}
+	return x
+}
+
+// TestExecBatchMatchesPerImage pins the batched seam's core contract:
+// for every image in the batch, every node's batched output slice must
+// equal the single-image Exec output bit for bit — at serial and
+// parallel goroutine budgets.
+func TestExecBatchMatchesPerImage(t *testing.T) {
+	for _, par := range []int{1, 3} {
+		n := testNet(t)
+		n.SetBatchParallelism(par)
+		const nb = 3
+		x := batchInput(nb)
+		got := n.ExecBatch(x)
+		for img := 0; img < nb; img++ {
+			want := n.Exec(testInput(int64(img)))
+			for i := range n.Nodes {
+				if got[i].Shape[0] != nb {
+					t.Fatalf("par=%d node %d batch dim %d, want %d", par, i, got[i].Shape[0], nb)
+				}
+				sz := got[i].Len() / nb
+				if sz != want[i].Len() {
+					t.Fatalf("par=%d node %d per-image size %d, want %d", par, i, sz, want[i].Len())
+				}
+				slice := got[i].Data[img*sz : (img+1)*sz]
+				for j := range want[i].Data {
+					g, e := math.Float32bits(slice[j]), math.Float32bits(want[i].Data[j])
+					if g != e {
+						t.Fatalf("par=%d image %d node %d elem %d: %08x != %08x", par, img, i, j, g, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecBatchFromScratchMatchesHeap is the batched counterpart of
+// TestExecFromScratchMatchesExec: the arena path must reproduce the heap
+// path bit for bit for every suffix start.
+func TestExecBatchFromScratchMatchesHeap(t *testing.T) {
+	n := testNet(t)
+	for _, nb := range []int{1, 2, 4} {
+		x := batchInput(nb)
+		want := n.ExecBatch(x)
+		cache := n.ExecBatch(x)
+		scratch := make([]*tensor.Tensor, len(n.Nodes))
+		for from := 0; from < len(n.Nodes); from++ {
+			copy(scratch, cache)
+			out := n.ExecBatchFromScratch(x, scratch, from)
+			for i := from; i < len(n.Nodes); i++ {
+				if !tensor.SameShape(scratch[i], want[i]) {
+					t.Fatalf("nb=%d from=%d node %d shape %v, want %v", nb, from, i, scratch[i].Shape, want[i].Shape)
+				}
+				for j := range want[i].Data {
+					got := math.Float32bits(scratch[i].Data[j])
+					exp := math.Float32bits(want[i].Data[j])
+					if got != exp {
+						t.Fatalf("nb=%d from=%d node %d elem %d: %08x != %08x", nb, from, i, j, got, exp)
+					}
+				}
+			}
+			if out != scratch[len(scratch)-1] {
+				t.Fatalf("nb=%d from=%d: returned tensor is not the last cache entry", nb, from)
+			}
+		}
+	}
+}
+
+// TestExecBatchFromScratchSteadyStateAllocFree asserts the batched hot
+// path reaches zero heap allocations once the arena is warm (serial
+// batch parallelism, the default).
+func TestExecBatchFromScratchSteadyStateAllocFree(t *testing.T) {
+	n := testNet(t)
+	x := batchInput(4)
+	cache := n.ExecBatch(x)
+	scratch := make([]*tensor.Tensor, len(n.Nodes))
+	run := func() {
+		copy(scratch, cache)
+		n.ExecBatchFromScratch(x, scratch, 0)
+	}
+	run() // warm the arena
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("warm ExecBatchFromScratch allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestExecBatchFromScratchChannelMatchesFull pins the channel-partial
+// recompute: for every conv node and every output channel, perturbing
+// one weight of that channel and re-executing via
+// ExecBatchFromScratchChannel must reproduce the full
+// ExecBatchFromScratch suffix bit for bit (testNet's conv0 takes the
+// GEMM path and its depthwise conv the direct path, so both algorithms
+// are covered). Non-conv nodes and oc = -1 must fall back to the full
+// recompute.
+func TestExecBatchFromScratchChannelMatchesFull(t *testing.T) {
+	n := testNet(t)
+	const nb = 3
+	x := batchInput(nb)
+	cache := n.ExecBatch(x)
+	scratch := make([]*tensor.Tensor, len(n.Nodes))
+	full := make([]*tensor.Tensor, len(n.Nodes))
+
+	check := func(node, oc int) {
+		t.Helper()
+		copy(full, cache)
+		n.ExecBatchFrom(x, full, node) // heap full recompute, arena untouched
+		copy(scratch, cache)
+		out := n.ExecBatchFromScratchChannel(x, scratch, node, oc)
+		for i := node; i < len(n.Nodes); i++ {
+			for j := range full[i].Data {
+				got := math.Float32bits(scratch[i].Data[j])
+				exp := math.Float32bits(full[i].Data[j])
+				if got != exp {
+					t.Fatalf("node %d oc %d: suffix node %d elem %d: %08x != %08x", node, oc, i, j, got, exp)
+				}
+			}
+		}
+		if out != scratch[len(scratch)-1] {
+			t.Fatalf("node %d oc %d: returned tensor is not the last cache entry", node, oc)
+		}
+	}
+
+	for _, node := range []int{0, 3} { // conv0 (im2col), dw (direct)
+		conv := n.Nodes[node].Layer.(*Conv2D)
+		for oc := 0; oc < conv.OutC; oc++ {
+			w := conv.W[oc*len(conv.W)/conv.OutC]
+			conv.W[oc*len(conv.W)/conv.OutC] = w + 0.5 // fault one weight of channel oc
+			check(node, oc)
+			conv.W[oc*len(conv.W)/conv.OutC] = w
+		}
+		check(node, -1) // fall back to full recompute
+	}
+	check(1, 2)  // BatchNorm2D node: non-conv fallback ignores oc
+	check(11, 0) // Linear node: non-conv fallback
+}
+
+// TestExecBatchFaultedWeights re-checks batched ≡ per-image with a NaN
+// and an Inf planted in conv weights: the algorithm choice and skip
+// behavior must stay aligned even for non-finite weights, where a
+// skipped tap and a ×0 tap differ. NaN elements are compared by class,
+// not bit pattern: which NaN payload an Inf−Inf or NaN-propagating
+// accumulation yields is left to the compiler's instruction scheduling
+// (it differs between separately compiled but semantically identical
+// loops), while NaN-ness itself — the only property any verdict or
+// comparison can observe — is deterministic.
+func TestExecBatchFaultedWeights(t *testing.T) {
+	n := testNet(t)
+	c0 := n.Nodes[0].Layer.(*Conv2D)
+	dw := n.Nodes[3].Layer.(*Conv2D)
+	c0.W[5] = float32(math.Inf(1))
+	dw.W[3] = float32(math.NaN())
+	const nb = 2
+	x := batchInput(nb)
+	got := n.ExecBatch(x)
+	for img := 0; img < nb; img++ {
+		want := n.Exec(testInput(int64(img)))
+		for i := range n.Nodes {
+			sz := got[i].Len() / nb
+			slice := got[i].Data[img*sz : (img+1)*sz]
+			for j := range want[i].Data {
+				gv, ev := slice[j], want[i].Data[j]
+				if gv != gv && ev != ev {
+					continue // both NaN
+				}
+				g, e := math.Float32bits(gv), math.Float32bits(ev)
+				if g != e {
+					t.Fatalf("image %d node %d elem %d: %08x != %08x", img, i, j, g, e)
+				}
+			}
+		}
+	}
+}
+
+// fallbackLayer is an out-of-tree layer without BatchLayer support; the
+// batched executor must route it through per-image Forward.
+type fallbackLayer struct{}
+
+func (f *fallbackLayer) Name() string { return "fallback" }
+
+func (f *fallbackLayer) Forward(inputs ...*tensor.Tensor) *tensor.Tensor {
+	x := inputs[0]
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// TestExecBatchFallbackPerImage checks the per-image fallback for layers
+// that do not implement BatchLayer.
+func TestExecBatchFallbackPerImage(t *testing.T) {
+	n := NewNetwork("fallback-test")
+	c0 := NewConv2D("conv0", 3, 4, 3, 1, 1, 1)
+	rng := rand.New(rand.NewSource(3))
+	for i := range c0.W {
+		c0.W[i] = float32(rng.NormFloat64())
+	}
+	n.Add(c0)
+	n.Add(&fallbackLayer{})
+	const nb = 2
+	x := batchInput(nb)
+	got := n.ExecBatch(x)
+	for img := 0; img < nb; img++ {
+		want := n.Exec(testInput(int64(img)))
+		last := len(n.Nodes) - 1
+		sz := got[last].Len() / nb
+		slice := got[last].Data[img*sz : (img+1)*sz]
+		for j := range want[last].Data {
+			g, e := math.Float32bits(slice[j]), math.Float32bits(want[last].Data[j])
+			if g != e {
+				t.Fatalf("image %d elem %d: %08x != %08x", img, j, g, e)
+			}
+		}
+	}
+}

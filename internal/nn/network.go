@@ -37,6 +37,11 @@ type Network struct {
 	// insScratch is the reusable layer-input buffer of the arena execution
 	// path. Same ownership rule as scratch: single-owner only.
 	insScratch []*tensor.Tensor
+
+	// batchPar is the goroutine budget handed to BatchLayer kernels by
+	// the batched executors; 0 and 1 both mean serial (see
+	// SetBatchParallelism).
+	batchPar int
 }
 
 // NewNetwork creates an empty network with the given name.
@@ -105,7 +110,7 @@ func (n *Network) TotalWeights() int {
 // arena state is never shared between clones. It panics if a weight
 // layer does not implement WeightCloner.
 func (n *Network) Clone() *Network {
-	c := &Network{NetName: n.NetName}
+	c := &Network{NetName: n.NetName, batchPar: n.batchPar}
 	c.Nodes = append([]Node(nil), n.Nodes...)
 	c.weightNodes = append([]int(nil), n.weightNodes...)
 	for _, node := range n.Nodes {
@@ -223,6 +228,157 @@ func (n *Network) execRange(x *tensor.Tensor, outs []*tensor.Tensor, from int, a
 		}
 		outs[i] = node.Layer.Forward(ins...)
 	}
+}
+
+// SetBatchParallelism sets the goroutine budget the batched executors
+// hand to each BatchLayer call. The default (1) runs every kernel
+// serially, which keeps the arena hot path allocation-free; par > 1
+// trades per-call goroutine spawns (which allocate) for wall time on
+// multi-core hosts. Results are bit-identical at any setting: each
+// output element is computed by exactly one goroutine in the same
+// serial order. Clones inherit the setting.
+func (n *Network) SetBatchParallelism(par int) {
+	if par < 1 {
+		par = 1
+	}
+	n.batchPar = par
+}
+
+// ExecBatch runs the network on a batched input (leading N dimension)
+// and returns every node's batched output, heap-allocated — the batched
+// counterpart of Exec, usable as a prefix cache for ExecBatchFrom.
+func (n *Network) ExecBatch(x *tensor.Tensor) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(n.Nodes))
+	n.execBatchRange(x, outs, 0, nil)
+	return outs
+}
+
+// ExecBatchFrom is ExecFrom for a batched input: it re-executes nodes
+// ≥ from against the batched prefix cache and returns the batched
+// network output ([N, classes]).
+func (n *Network) ExecBatchFrom(x *tensor.Tensor, cache []*tensor.Tensor, from int) *tensor.Tensor {
+	if len(cache) != len(n.Nodes) {
+		panic(fmt.Sprintf("nn: cache length %d does not match %d nodes", len(cache), len(n.Nodes)))
+	}
+	if from < 0 {
+		from = 0
+	}
+	n.execBatchRange(x, cache, from, nil)
+	return cache[len(cache)-1]
+}
+
+// ExecBatchFromScratch is ExecBatchFrom with every recomputed node
+// output drawn from the network's scratch arena — the batched injection
+// hot path. It shares the arena (and its single-owner contract and
+// re-copy-before-every-call cache rule) with ExecFromScratch; see that
+// method and docs/ARCHITECTURE.md for the ownership rules. With batch
+// parallelism at its default of 1, the steady state performs zero heap
+// allocations.
+func (n *Network) ExecBatchFromScratch(x *tensor.Tensor, cache []*tensor.Tensor, from int) *tensor.Tensor {
+	if len(cache) != len(n.Nodes) {
+		panic(fmt.Sprintf("nn: cache length %d does not match %d nodes", len(cache), len(n.Nodes)))
+	}
+	if from < 0 {
+		from = 0
+	}
+	a := n.ScratchArena()
+	a.Reset()
+	n.execBatchRange(x, cache, from, a)
+	return cache[len(cache)-1]
+}
+
+// ExecBatchFromScratchChannel is ExecBatchFromScratch specialised for a
+// single-weight fault: the caller asserts that, relative to the golden
+// cache, the network's weights differ only inside node from's layer and
+// only in the rows feeding that layer's output channel oc. When that
+// node is a single-input Conv2D, its recomputation copies every other
+// channel's plane from the golden cache entry and recomputes channel oc
+// alone — bit-identical to a full recompute, since each output channel
+// accumulates independently from its own (untouched) weight rows.
+// Any other layer shape, or oc < 0, falls back to a full ExecBatchFrom
+// of node from. Downstream nodes are always fully recomputed.
+func (n *Network) ExecBatchFromScratchChannel(x *tensor.Tensor, cache []*tensor.Tensor, from, oc int) *tensor.Tensor {
+	if len(cache) != len(n.Nodes) {
+		panic(fmt.Sprintf("nn: cache length %d does not match %d nodes", len(cache), len(n.Nodes)))
+	}
+	if from < 0 {
+		from = 0
+	}
+	a := n.ScratchArena()
+	a.Reset()
+	if oc >= 0 && from < len(n.Nodes) {
+		node := &n.Nodes[from]
+		if c, ok := node.Layer.(*Conv2D); ok && oc < c.OutC && len(node.Inputs) == 1 {
+			par := n.batchPar
+			if par < 1 {
+				par = 1
+			}
+			in := x
+			if src := node.Inputs[0]; src != InputID {
+				in = cache[src]
+			}
+			golden := cache[from]
+			cache[from] = c.forwardBatchChannel(a, par, in, golden, oc)
+			n.execBatchRange(x, cache, from+1, a)
+			return cache[len(cache)-1]
+		}
+	}
+	n.execBatchRange(x, cache, from, a)
+	return cache[len(cache)-1]
+}
+
+func (n *Network) execBatchRange(x *tensor.Tensor, outs []*tensor.Tensor, from int, a *tensor.Arena) {
+	par := n.batchPar
+	if par < 1 {
+		par = 1
+	}
+	for i := from; i < len(n.Nodes); i++ {
+		node := &n.Nodes[i]
+		var ins []*tensor.Tensor
+		if a != nil {
+			if cap(n.insScratch) < len(node.Inputs) {
+				n.insScratch = make([]*tensor.Tensor, len(node.Inputs))
+			}
+			ins = n.insScratch[:len(node.Inputs)]
+		} else {
+			ins = make([]*tensor.Tensor, len(node.Inputs))
+		}
+		for j, src := range node.Inputs {
+			if src == InputID {
+				ins[j] = x
+			} else {
+				ins[j] = outs[src]
+			}
+		}
+		if bl, ok := node.Layer.(BatchLayer); ok {
+			outs[i] = bl.ForwardBatch(a, par, ins...)
+			continue
+		}
+		outs[i] = forwardPerImage(node.Layer, ins)
+	}
+}
+
+// forwardPerImage is the batched executor's fallback for out-of-tree
+// layers without BatchLayer support: the layer's Forward runs once per
+// image on heap-allocated views and the results are stacked. It
+// allocates — only in-tree BatchLayer kernels are on the
+// allocation-free hot path.
+func forwardPerImage(l Layer, ins []*tensor.Tensor) *tensor.Tensor {
+	nb := ins[0].Shape[0]
+	views := make([]*tensor.Tensor, len(ins))
+	var out *tensor.Tensor
+	for img := 0; img < nb; img++ {
+		for j, in := range ins {
+			sz := in.Len() / in.Shape[0]
+			views[j] = &tensor.Tensor{Shape: in.Shape[1:], Data: in.Data[img*sz : (img+1)*sz]}
+		}
+		y := l.Forward(views...)
+		if out == nil {
+			out = tensor.New(append([]int{nb}, y.Shape...)...)
+		}
+		copy(out.Data[img*y.Len():(img+1)*y.Len()], y.Data)
+	}
+	return out
 }
 
 // Predict returns the top-1 class index for one input.

@@ -649,6 +649,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad_margin", `{"model":"smallcnn","approach":"data-aware","margin":2}`},
 		{"inference_resnet", `{"model":"resnet20","approach":"data-aware","substrate":"inference"}`},
 		{"too_wide", `{"model":"smallcnn","approach":"data-aware","workers":99}`},
+		{"negative_batch", `{"model":"smallcnn","approach":"data-aware","substrate":"inference","batch":-1}`},
+		{"batch_on_oracle", `{"model":"smallcnn","approach":"data-aware","batch":8}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -48,6 +48,11 @@ type CampaignSpec struct {
 	RunSeed    int64 `json:"run_seed,omitempty"`
 	// Images sizes the inference substrate's evaluation set (default 8).
 	Images int `json:"images,omitempty"`
+	// Batch sets how many images each faulted forward pass evaluates at
+	// once on the inference substrate (0 or 1 = unbatched, the default).
+	// Batching changes wall time only — verdicts, and therefore the
+	// Result, are bit-identical at every batch size.
+	Batch int `json:"batch,omitempty"`
 	// Workers is the campaign's fixed worker count (default 1). It is
 	// part of the job's identity — checkpoints bind to it — and the job
 	// holds this many tokens of the service's shared pool while running.
@@ -132,6 +137,12 @@ func (spec *CampaignSpec) validate() error {
 	if spec.Images <= 0 {
 		return bad("images must be > 0 (got %d)", spec.Images)
 	}
+	if spec.Batch < 0 {
+		return bad("batch must be >= 0 (got %d); 0 disables batching", spec.Batch)
+	}
+	if spec.Batch > 1 && spec.Substrate != "inference" {
+		return bad("batch needs the inference substrate; the oracle runs no forward passes to batch")
+	}
 	if spec.EarlyStop != nil && (*spec.EarlyStop < 0 || *spec.EarlyStop >= 1) {
 		return bad("early_stop must be inside [0,1) (got %v); omit it to disable", *spec.EarlyStop)
 	}
@@ -157,7 +168,9 @@ func DefaultEvaluator(spec CampaignSpec, net *nn.Network) (core.Evaluator, error
 		return oracle.New(net, oracle.DefaultConfig(spec.OracleSeed)), nil
 	case "inference":
 		ds := dataset.Synthetic(dataset.Config{N: spec.Images, Seed: 1, Size: 16})
-		return inject.New(net, ds), nil
+		inj := inject.New(net, ds)
+		inj.SetBatchSize(spec.Batch) // worker clones inherit the size
+		return inj, nil
 	}
 	return nil, fmt.Errorf("service: unknown substrate %q", spec.Substrate)
 }
@@ -222,6 +235,12 @@ func (s *Service) engineOptions(j *job) []core.Option {
 	}
 	if spec.MaxRetries != nil {
 		opts = append(opts, core.WithMaxRetries(*spec.MaxRetries))
+	}
+	if spec.Batch > 1 {
+		// Mirror sfirun: batched inference jobs also group each shard's
+		// schedule by fault identity (Result stays bit-identical; the
+		// supervised path ignores the flag).
+		opts = append(opts, core.WithGroupedEvaluation(true))
 	}
 	return opts
 }

@@ -441,6 +441,22 @@ func WithExperimentTimeout(d time.Duration) EngineOption { return core.WithExper
 // supervises (panics no longer crash the campaign) without retrying.
 func WithMaxRetries(n int) EngineOption { return core.WithMaxRetries(n) }
 
+// WithGroupedEvaluation makes each worker evaluate its shard's draws
+// grouped by fault identity (layer, weight, bit, model) so consecutive
+// experiments on the same weight share the injector's cached golden
+// prefix; tallies are still merged strictly in draw order, so the
+// Result stays bit-identical to the ungrouped schedule. Off by default:
+// grouping is pure overhead for cheap evaluators (the oracle), and
+// supervised campaigns (WithMaxRetries / WithExperimentTimeout) ignore
+// it.
+func WithGroupedEvaluation(on bool) EngineOption { return core.WithGroupedEvaluation(on) }
+
+// WatchdogAbandonedLanes reports how many experiment goroutines
+// abandoned by the WithExperimentTimeout watchdog are still pinned by
+// their hung IsCritical call, process-wide. cmd/sfirun exports it as
+// the sfi_watchdog_abandoned_lanes gauge.
+func WatchdogAbandonedLanes() int64 { return core.WatchdogAbandonedLanes() }
+
 // WithWarnings installs a sink for the engine's rare one-line
 // operational warnings (quarantine decisions, checkpoint recovery from
 // backup). Without one they go to stderr.
