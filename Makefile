@@ -13,6 +13,9 @@
 #                sfitrace, and diff the summary against its golden
 #   make service-smoke  start sfid, drive a campaign through sfictl,
 #                and diff the served result against the sfirun golden
+#   make federation-smoke  boot a coordinator and two member daemons,
+#                run a federated campaign, and diff the merged result
+#                against the same golden
 #   make docs-check  fail on dead relative links in README/docs
 #   make vuln    scan the module against the Go vulnerability database
 #                (needs network access; CI runs it on every push)
@@ -23,7 +26,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench fuzz-smoke trace-smoke service-smoke docs-check vuln verify
+.PHONY: build test race vet bench fuzz-smoke trace-smoke service-smoke federation-smoke docs-check vuln verify
 
 build:
 	$(GO) build ./...
@@ -87,6 +90,42 @@ service-smoke:
 	diff -u cmd/sfid/testdata/service_smoke.result.golden "$$tmp/result.json"; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "service-smoke: OK"
+
+# End-to-end federation smoke: boot a coordinator and two member
+# daemons, wait for both registrations, submit the same campaign as
+# service-smoke with -federated, and diff the merged Result against the
+# identical golden. This asserts the coordinator's byte-identity
+# contract — a federated merge over real daemons equals a single-node
+# direct-engine run — from outside the process boundary.
+federation-smoke:
+	@set -e; tmp=$$(mktemp -d); pids=; \
+	trap 'kill $$pids 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/sfid" ./cmd/sfid; \
+	$(GO) build -o "$$tmp/sfictl" ./cmd/sfictl; \
+	"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/coord" -coordinator \
+		2>"$$tmp/coord.log" & pids="$$pids $$!"; \
+	addr=; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^sfid: listening on \(http://[^ ]*\) .*|\1|p' "$$tmp/coord.log"); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "federation-smoke: coordinator never came up"; cat "$$tmp/coord.log"; exit 1; }; \
+	for m in 1 2; do \
+		"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/member$$m" \
+			-join "$$addr" -member-name "member$$m" -heartbeat-interval 200ms \
+			2>"$$tmp/member$$m.log" & pids="$$pids $$!"; \
+	done; \
+	for i in $$(seq 1 100); do \
+		n=$$("$$tmp/sfictl" -addr "$$addr" members -json 2>/dev/null | grep -c '"alive": true' || true); \
+		[ "$$n" = 2 ] && break; sleep 0.1; \
+	done; \
+	[ "$$n" = 2 ] || { echo "federation-smoke: members never registered"; cat "$$tmp"/member*.log; exit 1; }; \
+	id=$$("$$tmp/sfictl" -addr "$$addr" submit -model smallcnn -approach data-aware \
+		-margin 0.05 -workers 1 -federated 2>/dev/null); \
+	"$$tmp/sfictl" -addr "$$addr" watch -id "$$id" >/dev/null 2>&1; \
+	"$$tmp/sfictl" -addr "$$addr" result -id "$$id" >"$$tmp/result.json"; \
+	diff -u cmd/sfid/testdata/service_smoke.result.golden "$$tmp/result.json"; \
+	kill -TERM $$pids; wait $$pids; \
+	echo "federation-smoke: OK"
 
 # The doc-link checker is a root-level test; running it by name keeps
 # the target fast and the logic in Go instead of shell.

@@ -6,6 +6,8 @@
 //	sfictl watch -id j000001                             stream progress (SSE) until the job settles
 //	sfictl result -id j000001                            fetch the Result document (sfirun-identical bytes)
 //	sfictl cancel -id j000001                            cancel a pending or running campaign
+//	sfictl members                                       list a coordinator's registered member daemons
+//	sfictl submit -federated ...                         run one campaign across the member fleet
 //
 // Every subcommand takes -addr (default http://localhost:8766). Job IDs
 // print on stdout, human diagnostics on stderr, so submit composes in
@@ -50,6 +52,7 @@ commands:
   watch    stream a campaign's progress until it settles
   result   fetch a completed campaign's Result document
   cancel   cancel a pending or running campaign
+  members  list a coordinator's registered member daemons
 
 run "sfictl <command> -h" for per-command flags.
 `
@@ -85,6 +88,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return c.result(ctx, rest)
 	case "cancel":
 		return c.cancel(ctx, rest)
+	case "members":
+		return c.members(ctx, rest)
 	}
 	fmt.Fprintf(stderr, "sfictl: unknown command %q\n", cmd)
 	fmt.Fprint(stderr, usageText)
@@ -174,6 +179,7 @@ func (c *client) submit(ctx context.Context, args []string) int {
 	earlyStop := fs.Float64("early-stop", -1, "stop each stratum at this achieved margin (0 = the requested margin; negative = disabled)")
 	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline (0 = none)")
 	maxRetries := fs.Int("max-retries", -1, "retries per failing experiment before quarantine; negative disables supervision")
+	federated := fs.Bool("federated", false, "run across the coordinator's member fleet (merged Result is byte-identical to a single-node run)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -191,6 +197,7 @@ func (c *client) submit(ctx context.Context, args []string) int {
 		Workers:             *workers,
 		Priority:            *priority,
 		ExperimentTimeoutMS: expTimeout.Milliseconds(),
+		Federated:           *federated,
 	}
 	if *earlyStop >= 0 {
 		spec.EarlyStop = earlyStop
@@ -414,6 +421,35 @@ func (c *client) result(ctx context.Context, args []string) int {
 	if err != nil {
 		return c.fail("result: %v", err)
 	}
+	return 0
+}
+
+// members lists the coordinator's registered member daemons. A plain
+// (non-coordinator) daemon answers 409, which surfaces as the usual
+// one-line failure.
+func (c *client) members(ctx context.Context, args []string) int {
+	fs := c.newFlagSet("members")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var resp struct {
+		Members []service.MemberStatus `json:"members"`
+	}
+	if err := c.api(ctx, http.MethodGet, "/api/v1/members", nil, &resp); err != nil {
+		return c.fail("members: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(c.stdout)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(resp)
+		return 0
+	}
+	tab := report.NewTable("Members", "ID", "Name", "URL", "Alive", "Last seen")
+	for _, m := range resp.Members {
+		tab.AddRow(m.ID, m.Name, m.URL, m.Alive, m.LastSeen.Format(time.RFC3339))
+	}
+	tab.Render(c.stdout)
 	return 0
 }
 

@@ -152,4 +152,75 @@ func TestAgainstLiveService(t *testing.T) {
 	if code != 1 || !strings.Contains(stderr, "HTTP 404") {
 		t.Errorf("status of unknown job: exit %d stderr=%q, want 1 with HTTP 404", code, stderr)
 	}
+	// members against a non-coordinator fails with the 409 one-liner.
+	code, _, stderr = runCLI(t, append(addr, "members")...)
+	if code != 1 || !strings.Contains(stderr, "HTTP 409") {
+		t.Errorf("members on non-coordinator: exit %d stderr=%q, want 1 with HTTP 409", code, stderr)
+	}
+}
+
+// TestFederatedAgainstFleet drives the federation client surface: list
+// a coordinator's members (table and -json) and submit one campaign
+// with -federated, fetching the merged Result at the end.
+func TestFederatedAgainstFleet(t *testing.T) {
+	newService := func(cfg service.Config) *service.Service {
+		cfg.Dir = t.TempDir()
+		svc, err := service.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := svc.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+		})
+		return svc
+	}
+	coord := newService(service.Config{
+		Coordinator:    true,
+		MemberTimeout:  time.Hour,
+		FederationPoll: 10 * time.Millisecond,
+	})
+	coordSrv := httptest.NewServer(service.NewMux(coord))
+	defer coordSrv.Close()
+	member := newService(service.Config{})
+	memberSrv := httptest.NewServer(service.NewMux(member))
+	defer memberSrv.Close()
+	if _, err := coord.RegisterMember(memberSrv.URL, "node-a"); err != nil {
+		t.Fatal(err)
+	}
+	addr := []string{"-addr", coordSrv.URL}
+
+	code, stdout, stderr := runCLI(t, append(addr, "members")...)
+	if code != 0 || !strings.Contains(stdout, "node-a") || !strings.Contains(stdout, memberSrv.URL) {
+		t.Fatalf("members exit %d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	code, stdout, _ = runCLI(t, append(addr, "members", "-json")...)
+	if code != 0 || !strings.Contains(stdout, `"id": "m0001"`) {
+		t.Fatalf("members -json exit %d stdout=%q", code, stdout)
+	}
+
+	code, stdout, stderr = runCLI(t, append(addr,
+		"submit", "-federated", "-model", "smallcnn", "-approach", "network-wise", "-margin", "0.1")...)
+	if code != 0 {
+		t.Fatalf("federated submit exit %d: %s", code, stderr)
+	}
+	id := strings.TrimSpace(stdout)
+	code, stdout, _ = runCLI(t, append(addr, "watch", "-id", id)...)
+	if code != 0 || !strings.Contains(stdout, "state=completed") {
+		t.Fatalf("watch exit %d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, append(addr, "result", "-id", id)...)
+	if code != 0 {
+		t.Fatalf("result exit %d", code)
+	}
+	want, err := coord.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("result bytes differ from the coordinator's stored document")
+	}
 }

@@ -13,6 +13,12 @@
 // re-evaluated draws. Results are bit-identical to an sfirun invocation
 // of the same (plan, seed, workers), whether or not a restart happened
 // in between.
+//
+// Federation: start one daemon with -coordinator and others with -join
+// pointing at it, and campaigns submitted with "federated": true are
+// split into contiguous per-stratum draw windows, run across the member
+// fleet, and merged into a Result byte-identical to a single-node run —
+// see "Running a member fleet" in docs/OPERATIONS.md.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +58,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	ckptEvery := fs.Int64("checkpoint-interval", 0, "per-job checkpoint cadence in injections (0 = engine default)")
 	progEvery := fs.Int64("progress-interval", 0, "per-job progress/SSE cadence in injections (0 = engine default)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "max wait for running campaigns to checkpoint on shutdown")
+	coordinator := fs.Bool("coordinator", false, "accept member registrations and federated submissions")
+	memberTimeout := fs.Duration("member-timeout", 10*time.Second, "heartbeat age past which a member counts dead (coordinator)")
+	join := fs.String("join", "", "coordinator base URL to register with as a member")
+	advertise := fs.String("advertise", "", "base URL the coordinator should reach this member at (default the listen address)")
+	memberName := fs.String("member-name", "", "display label for the member listing (default the hostname)")
+	heartbeat := fs.Duration("heartbeat-interval", 2*time.Second, "cadence of the member's liveness pings")
 	if err := fs.Parse(args); err != nil {
 		return 2 // flag package already printed the error + usage
 	}
@@ -79,6 +92,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *drainTimeout <= 0 {
 		return fail("-drain-timeout must be > 0 (got %v)", *drainTimeout)
 	}
+	if *coordinator && *join != "" {
+		return fail("-coordinator and -join are mutually exclusive; a daemon plays one federation role")
+	}
+	if *join == "" && (*advertise != "" || *memberName != "") {
+		return fail("-advertise and -member-name only apply with -join")
+	}
+	if *memberTimeout <= 0 {
+		return fail("-member-timeout must be > 0 (got %v)", *memberTimeout)
+	}
+	if *heartbeat <= 0 {
+		return fail("-heartbeat-interval must be > 0 (got %v)", *heartbeat)
+	}
 
 	svc, err := service.New(service.Config{
 		Dir:             *stateDir,
@@ -86,6 +111,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxQueue:        *maxQueue,
 		CheckpointEvery: *ckptEvery,
 		ProgressEvery:   *progEvery,
+		Coordinator:     *coordinator,
+		MemberTimeout:   *memberTimeout,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "sfid: "+format+"\n", args...)
 		},
@@ -103,6 +130,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(stderr, "sfid: listening on http://%s (state %s, %d jobs recovered)\n",
 		ln.Addr(), *stateDir, len(svc.List()))
+	if *coordinator {
+		fmt.Fprintln(stderr, "sfid: coordinator mode: accepting member registrations and federated submissions")
+	}
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		name := *memberName
+		if name == "" {
+			name, _ = os.Hostname()
+		}
+		fmt.Fprintf(stderr, "sfid: joining coordinator %s as %q (advertising %s)\n", *join, name, adv)
+		go service.Join(ctx, strings.TrimRight(*join, "/"), adv, name, *heartbeat,
+			func(format string, args ...any) {
+				fmt.Fprintf(stderr, "sfid: "+format+"\n", args...)
+			})
+	}
 
 	select {
 	case <-ctx.Done():

@@ -58,6 +58,10 @@ func TestFlagValidation(t *testing.T) {
 		{"negative_checkpoint_interval", []string{"-checkpoint-interval", "-1"}},
 		{"negative_progress_interval", []string{"-progress-interval", "-1"}},
 		{"zero_drain_timeout", []string{"-drain-timeout", "0s"}},
+		{"join_and_coordinator", []string{"-coordinator", "-join", "http://c:8766"}},
+		{"advertise_without_join", []string{"-advertise", "http://m:8766"}},
+		{"zero_member_timeout", []string{"-member-timeout", "0s"}},
+		{"zero_heartbeat_interval", []string{"-heartbeat-interval", "0s"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -104,18 +108,18 @@ var listenLine = regexp.MustCompile(`listening on (http://[^ ]+) \(state [^,]+, 
 // startDaemon launches run() on an ephemeral port and waits for the
 // listen banner, returning the base URL, recovered-job count, and a
 // stop function that triggers the SIGTERM drain path and waits for exit.
-func startDaemon(t *testing.T, dir string) (base string, recovered string, stderr *syncBuffer, stop func() int) {
+func startDaemon(t *testing.T, dir string, extra ...string) (base string, recovered string, stderr *syncBuffer, stop func() int) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	stderr = &syncBuffer{}
 	done := make(chan int, 1)
 	go func() {
-		done <- run(ctx, []string{
+		done <- run(ctx, append([]string{
 			"-addr", "127.0.0.1:0",
 			"-state-dir", dir,
 			"-checkpoint-interval", "64",
 			"-progress-interval", "64",
-		}, io.Discard, stderr)
+		}, extra...), io.Discard, stderr)
 	}()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -269,5 +273,116 @@ func TestDaemonServesAndResumesAcrossRestart(t *testing.T) {
 	}
 	if s := stderr2.String(); !strings.Contains(s, "drained; state persisted for resume") {
 		t.Errorf("drain banner missing from stderr:\n%s", s)
+	}
+}
+
+// TestDaemonFederation wires the federation flags end to end at the
+// binary level: one -coordinator daemon, two -join members registering
+// over real HTTP, one federated submission — and the merged Result must
+// be byte-identical to the direct single-node engine run.
+func TestDaemonFederation(t *testing.T) {
+	coordBase, _, coordStderr, stopCoord := startDaemon(t, t.TempDir(), "-coordinator")
+	memberStops := make([]func() int, 2)
+	memberStderrs := make([]*syncBuffer, 2)
+	for i := range memberStops {
+		_, _, memberStderr, stop := startDaemon(t, t.TempDir(),
+			"-join", coordBase, "-heartbeat-interval", "100ms", "-member-name", fmt.Sprintf("m%d", i))
+		memberStops[i] = stop
+		memberStderrs[i] = memberStderr
+	}
+	// Wait until both members registered and heartbeat as alive.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(coordBase + "/api/v1/members")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Members []service.MemberStatus `json:"members"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := 0
+		for _, m := range list.Members {
+			if m.Alive {
+				alive++
+			}
+		}
+		if alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("members never registered: %+v", list.Members)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	spec := service.CampaignSpec{
+		Model: "smallcnn", Substrate: "oracle", Approach: "data-aware",
+		Margin: 0.05, Confidence: 0.99, ModelSeed: 1, OracleSeed: 3, Workers: 1,
+		Federated: true,
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(coordBase+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("federated submit = %d, want 202", resp.StatusCode)
+	}
+	for {
+		resp, err := http.Get(coordBase + "/api/v1/campaigns/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == service.StateCompleted {
+			break
+		}
+		if st.State == service.StateFailed || st.State == service.StateCanceled || time.Now().After(deadline) {
+			t.Fatalf("federated job %s: state %s (error %q)", st.ID, st.State, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = http.Get(coordBase + "/api/v1/campaigns/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", resp.StatusCode, got.String())
+	}
+	fedSpec := spec
+	fedSpec.Federated = false
+	if want := directResult(t, fedSpec); !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("federated daemon Result differs from direct engine Result")
+	}
+	for i, stop := range memberStops {
+		if code := stop(); code != 0 {
+			t.Errorf("member %d exited %d, want 0", i, code)
+		}
+		if s := memberStderrs[i].String(); !strings.Contains(s, "joining coordinator "+coordBase) {
+			t.Errorf("member %d banner missing:\n%s", i, s)
+		}
+	}
+	if code := stopCoord(); code != 0 {
+		t.Errorf("coordinator exited %d, want 0", code)
+	}
+	if s := coordStderr.String(); !strings.Contains(s, "coordinator mode") {
+		t.Errorf("coordinator banner missing:\n%s", s)
 	}
 }

@@ -49,6 +49,11 @@ var (
 	// count, so resuming at another count would re-split the sample
 	// differently.
 	ErrCheckpointWorkers = errors.New("checkpoint worker-count mismatch")
+	// ErrCheckpointRange marks a checkpoint written for a different
+	// WithDrawRanges vector: cursors are absolute draw positions inside
+	// the writing run's windows, so resuming with other windows (or as a
+	// full run) would mis-place every prefix.
+	ErrCheckpointRange = errors.New("checkpoint draw-range mismatch")
 )
 
 // checkpointStratum is one stratum's persisted tally: how many draws of
@@ -81,6 +86,8 @@ type checkpointDoc struct {
 	Workers     int                 `json:"workers"`
 	Injections  int64               `json:"injections"`
 	Retries     int64               `json:"retries,omitempty"`
+	Abandoned   int64               `json:"abandoned,omitempty"`
+	Ranges      []DrawRange         `json:"draw_ranges,omitempty"`
 	Quarantined []QuarantinedFault  `json:"quarantined,omitempty"`
 	Strata      []checkpointStratum `json:"strata"`
 }
@@ -117,6 +124,8 @@ func (x *execution) writeCheckpoint(path string) error {
 		Workers:     x.workers,
 		Injections:  x.merged,
 		Retries:     x.retries,
+		Abandoned:   x.abandoned,
+		Ranges:      x.ranges,
 		Quarantined: x.quarantined,
 		Strata:      make([]checkpointStratum, len(x.strata)),
 	}
@@ -309,11 +318,15 @@ func (x *execution) applyCheckpoint(src string, doc *checkpointDoc) error {
 		return fmt.Errorf("core: checkpoint %s: %w: %d strata for a %d-stratum plan",
 			src, ErrCheckpointPlan, len(doc.Strata), len(x.strata))
 	}
+	if !rangesEqual(doc.Ranges, x.ranges) {
+		return fmt.Errorf("core: checkpoint %s: %w: written for draw ranges %v, resuming with %v",
+			src, ErrCheckpointRange, doc.Ranges, x.ranges)
+	}
 	for i, cs := range doc.Strata {
-		sub := x.plan.Subpops[i]
-		if cs.Cursor < 0 || cs.Cursor > sub.SampleSize {
-			return fmt.Errorf("core: checkpoint %s: %w: stratum %d cursor %d outside [0, %d]",
-				src, ErrCheckpointCorrupt, i, cs.Cursor, sub.SampleSize)
+		from, to := x.rangeBounds(i)
+		if cs.Cursor < from || cs.Cursor > to {
+			return fmt.Errorf("core: checkpoint %s: %w: stratum %d cursor %d outside [%d, %d]",
+				src, ErrCheckpointCorrupt, i, cs.Cursor, from, to)
 		}
 	}
 	for _, q := range doc.Quarantined {
@@ -334,7 +347,8 @@ func (x *execution) applyCheckpoint(src string, doc *checkpointDoc) error {
 			pl := pl
 			st.perLayer[l] = &pl
 		}
-		x.merged += cs.Cursor
+		from, _ := x.rangeBounds(i)
+		x.merged += cs.Cursor - from
 		x.critical += cs.Successes
 	}
 	for _, q := range doc.Quarantined {
@@ -342,6 +356,7 @@ func (x *execution) applyCheckpoint(src string, doc *checkpointDoc) error {
 	}
 	x.quarantined = append(x.quarantined, doc.Quarantined...)
 	x.retries = doc.Retries
+	x.abandoned = doc.Abandoned
 	x.restored = x.merged
 	return nil
 }

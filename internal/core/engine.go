@@ -42,6 +42,7 @@ type Engine struct {
 	earlyStopTarget float64
 	validate        bool
 	grouped         bool
+	ranges          []DrawRange
 	trace           TraceSink
 
 	// Supervision (see supervise.go): expTimeout > 0 or maxRetries >= 0
@@ -184,9 +185,15 @@ type execution struct {
 	pos    []int   // per stratum: next order entry awaiting merge
 	done   []bool  // per shard: evaluated
 
+	// ranges is the WithDrawRanges vector (nil for a full run); cursors
+	// and shard offsets stay absolute draw positions either way, so a
+	// ranged stratum's cursor starts at ranges[i].From.
+	ranges []DrawRange
+
 	merged      int64 // merged injections, campaign-wide (incl. restored + quarantined)
 	restored    int64 // merged injections loaded from the checkpoint
 	critical    int64 // tallied criticals, campaign-wide
+	abandoned   int64 // watchdog-abandoned lanes accumulated by merged shards
 	lastStratum int   // stratum whose prefix advanced most recently
 
 	// Supervision bookkeeping (nil/zero when supervision is off): the
@@ -237,6 +244,9 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 	if e.expTimeout < 0 {
 		return nil, fmt.Errorf("core: engine: negative experiment timeout %v", e.expTimeout)
 	}
+	if err := validateRanges(e.ranges, plan); err != nil {
+		return nil, err
+	}
 	workers := e.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -250,6 +260,7 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		start:       time.Now(),
 		workers:     workers,
 		strata:      make([]*stratumState, len(plan.Subpops)),
+		ranges:      e.ranges,
 		lastStratum: -1,
 	}
 	if e.supervised() {
@@ -264,6 +275,9 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 		if sub.Layer < 0 {
 			st.perLayer = make(map[int]*stats.ProportionEstimate)
 		}
+		// Ranged runs tally the [from, to) window only: the cursor is an
+		// absolute draw position and starts at the window's left edge.
+		st.cursor, _ = x.rangeBounds(i)
 		x.strata[i] = st
 	}
 	if e.checkpointPath != "" && e.resume {
@@ -277,7 +291,7 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 	// campaigns see the same boundaries (cursors always sit on shard
 	// boundaries of the worker count that wrote the checkpoint).
 	samples := drawAll(plan, seed)
-	for _, s := range makeShards(plan, samples, workers) {
+	for _, s := range makeShards(plan, samples, workers, x.ranges) {
 		st := x.strata[s.stratum]
 		end := s.start + int64(len(s.idx))
 		if st.stopped || end <= st.cursor {
@@ -306,7 +320,7 @@ func (e *Engine) Execute(ctx context.Context, ev Evaluator, plan *Plan, seed int
 			ev.Seed = seed
 			ev.Fingerprint = planFingerprint(plan)
 			ev.Workers = workers
-			ev.Planned = plan.TotalInjections()
+			ev.Planned = x.plannedInjections()
 			ev.Restored = x.restored
 			ev.Strata = len(plan.Subpops)
 		})
@@ -446,7 +460,7 @@ func (x *execution) traceCampaignEnd(res *Result) {
 	x.emitTrace(TraceCampaignEnd, func(ev *TraceEvent) {
 		ev.Done = x.merged
 		ev.Critical = x.critical
-		ev.Planned = x.plan.TotalInjections()
+		ev.Planned = x.plannedInjections()
 		ev.Partial = res.Partial
 		ev.EarlyStopped = len(res.EarlyStopped)
 		ev.Retries = x.retries
@@ -526,6 +540,7 @@ func (x *execution) mergeShard(s *shard) {
 	n := int64(len(s.idx))
 	x.merged += n
 	x.critical += s.successes
+	x.abandoned += s.abandoned
 	x.sinceProgress += n
 	x.sinceCheckpoint += n
 	x.lastStratum = s.stratum
@@ -540,11 +555,14 @@ func (x *execution) checkEarlyStop(i int) {
 	}
 	st := x.strata[i]
 	sub := x.plan.Subpops[i]
+	from, to := x.rangeBounds(i)
 	// eff is the effective sample size: quarantined draws carry no
 	// verdict, so both the stop rule and the reported margin run over
-	// the reduced n.
-	eff := st.cursor - st.quarantined
-	if st.stopped || eff < earlyStopMinSample || st.cursor >= sub.SampleSize {
+	// the reduced n. A ranged run stops on its window-local prefix (the
+	// stop rule stays a pure function of the window's tallied prefix at
+	// fixed shard boundaries, so it is deterministic per range).
+	eff := st.cursor - from - st.quarantined
+	if st.stopped || eff < earlyStopMinSample || st.cursor >= to {
 		return
 	}
 	target := e.earlyStopTarget
@@ -595,14 +613,15 @@ func (x *execution) emitProgress(final bool) {
 		return
 	}
 	p := Progress{
-		Done:        x.merged,
-		Planned:     x.plan.TotalInjections(),
-		Critical:    x.critical,
-		Stratum:     x.lastStratum,
-		Elapsed:     time.Since(x.start),
-		Final:       final,
-		Retries:     x.retries,
-		Quarantined: int64(len(x.quarantined)),
+		Done:           x.merged,
+		Planned:        x.plannedInjections(),
+		Critical:       x.critical,
+		Stratum:        x.lastStratum,
+		Elapsed:        time.Since(x.start),
+		Final:          final,
+		Retries:        x.retries,
+		Quarantined:    int64(len(x.quarantined)),
+		AbandonedLanes: x.abandoned,
 	}
 	if x.lastStratum >= 0 {
 		p.StratumDone = x.strata[x.lastStratum].cursor
@@ -621,15 +640,17 @@ func (x *execution) emitProgress(final bool) {
 // completed campaign every cursor equals its planned sample size, so the
 // Result is field-for-field what the classic Run produces.
 func (x *execution) assemble(aborted bool) *Result {
-	res := &Result{Plan: x.plan, Partial: aborted}
+	res := &Result{Plan: x.plan, Partial: aborted, Ranges: x.ranges}
 	for i, sub := range x.plan.Subpops {
 		st := x.strata[i]
+		from, _ := x.rangeBounds(i)
 		// SampleSize is the effective n (quarantined draws excluded), so
 		// every downstream margin — Estimate.Margin, Compare, sfireport —
 		// is automatically the stats.ObservedMargin over the reduced n.
+		// Ranged runs report the window-local n (cursor is absolute).
 		res.Estimates = append(res.Estimates, stats.ProportionEstimate{
 			Successes:      st.successes,
-			SampleSize:     st.cursor - st.quarantined,
+			SampleSize:     st.cursor - from - st.quarantined,
 			PopulationSize: sub.Population,
 			PlannedP:       sub.P,
 		})
@@ -701,30 +722,48 @@ type shard struct {
 	// global sample (nil for layer- or bit-granular strata).
 	perLayer map[int]*stats.ProportionEstimate
 	// Supervision outcomes (supervised campaigns only): faults excluded
-	// after exhausting retries, experiments that needed retries, and the
-	// total failed-attempt count. Folded in by mergeShard.
+	// after exhausting retries, experiments that needed retries, the
+	// total failed-attempt count, and the number of watchdog-abandoned
+	// lanes this shard's evaluation left behind. Folded in by mergeShard.
 	quarantined []QuarantinedFault
 	retried     []retryRecord
 	retries     int64
+	abandoned   int64
 }
 
 // makeShards splits every stratum's sample into contiguous chunks of
 // roughly total/(workers·shardOversubscription) draws. Small strata stay
-// whole; a single large stratum fans out across all workers.
-func makeShards(plan *Plan, samples [][]int64, workers int) []*shard {
-	chunk := int(plan.TotalInjections() / int64(workers*shardOversubscription))
+// whole; a single large stratum fans out across all workers. A non-nil
+// ranges vector (WithDrawRanges) restricts each stratum to its [From,
+// To) draw window — shard offsets stay absolute draw positions, and the
+// chunk size is derived from the windowed total so a ranged run
+// oversubscribes its workers exactly like a full run of the same size.
+func makeShards(plan *Plan, samples [][]int64, workers int, ranges []DrawRange) []*shard {
+	bounds := func(i int) (int64, int64) {
+		if ranges == nil {
+			return 0, plan.Subpops[i].SampleSize
+		}
+		return ranges[i].From, ranges[i].To
+	}
+	var total int64
+	for i := range plan.Subpops {
+		from, to := bounds(i)
+		total += to - from
+	}
+	chunk := int(total / int64(workers*shardOversubscription))
 	if chunk < 1 {
 		chunk = 1
 	}
 	var shards []*shard
 	for i := range plan.Subpops {
-		idx := samples[i]
+		from, to := bounds(i)
+		idx := samples[i][from:to]
 		for start := 0; start < len(idx); start += chunk {
 			end := start + chunk
 			if end > len(idx) {
 				end = len(idx)
 			}
-			shards = append(shards, &shard{stratum: i, start: int64(start), idx: idx[start:end]})
+			shards = append(shards, &shard{stratum: i, start: from + int64(start), idx: idx[start:end]})
 		}
 	}
 	return shards

@@ -102,7 +102,7 @@ func TestRunParallelRace(t *testing.T) {
 func TestMakeShards(t *testing.T) {
 	_, lw, _, _ := allApproachPlans(t)
 	samples := drawAll(lw, 7)
-	shards := makeShards(lw, samples, 4)
+	shards := makeShards(lw, samples, 4, nil)
 
 	next := make([]int, len(samples)) // cursor per stratum
 	for _, sh := range shards {

@@ -44,6 +44,15 @@ type Progress struct {
 	// carry no verdict. Both stay zero on unsupervised campaigns.
 	Retries     int64
 	Quarantined int64
+	// AbandonedLanes counts the watchdog-abandoned experiment lanes this
+	// campaign has accumulated in its tallied prefix — each is one
+	// goroutine a timed-out experiment left behind (see
+	// WatchdogAbandonedLanes for the live process-wide gauge). Unlike
+	// the gauge, this counter never decreases: it measures how much the
+	// watchdog had to abandon, per campaign, so a coordinator can
+	// surface per-member abandonment in its merged warnings. Zero on
+	// unsupervised campaigns.
+	AbandonedLanes int64
 	// Eval breaks down how the evaluator resolved this campaign's
 	// experiments, when the evaluator implements StatsReporter (zero
 	// otherwise). The monotone counters (Skipped, Evaluated, EarlyExits)

@@ -51,6 +51,12 @@ type Result struct {
 	// actual sample sizes are in Estimates, the planned ones in the
 	// Plan.
 	EarlyStopped []int `json:",omitempty"`
+	// Ranges records the per-stratum [From, To) draw windows a
+	// shard-range execution (WithDrawRanges) covered; nil for a
+	// full-campaign run. Estimates then tally only the draws inside each
+	// window, and MergeRangeResults uses the windows to verify that a
+	// set of partial results tiles the full sample in draw order.
+	Ranges []DrawRange `json:",omitempty"`
 	// Quarantined lists the draws a supervised campaign excluded after
 	// exhausting their retry budget, sorted by (stratum, draw index) so
 	// the list is deterministic across worker counts. Each quarantined

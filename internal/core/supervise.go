@@ -314,6 +314,9 @@ func (w *supWorker) evaluateShard(s *shard, space faultmodel.Space, plan *Plan, 
 			return verdict{fault: f, decoded: true, critical: ev.IsCritical(f)}
 		}
 		v := w.attempt(experiment)
+		if v.timedOut {
+			s.abandoned++
+		}
 		failures := 0
 		var lastErr *ExperimentError
 		for v.failed() && failures <= w.sup.retries {
@@ -324,6 +327,9 @@ func (w *supWorker) evaluateShard(s *shard, space faultmodel.Space, plan *Plan, 
 			}
 			w.refresh() // assume the evaluator is poisoned; retry on a fresh clone
 			v = w.attempt(experiment)
+			if v.timedOut {
+				s.abandoned++
+			}
 		}
 		if v.failed() {
 			w.refresh()

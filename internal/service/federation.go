@@ -1,0 +1,676 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"cnnsfi/internal/core"
+	"cnnsfi/internal/telemetry"
+)
+
+// This file is the federation layer: a coordinator sfid splits one
+// statistical plan into contiguous per-stratum draw windows
+// (core.SplitPlan), runs each window as a normal ranged job on a member
+// sfid, and folds the members' partial Results back together in draw
+// order (core.MergeRangeResults) — so the federated Result is
+// byte-identical to a single-node run of the same (plan, seed).
+//
+// Durability: the member registry is in-memory only (members
+// re-register via their heartbeat loop, so a coordinator restart
+// rebuilds it within one heartbeat interval), but everything the merge
+// depends on is on disk — the assignment document <id>.fed.json and one
+// <id>.partK.result.json per fetched member result. A restarted
+// coordinator therefore resumes the merge with zero re-evaluated draws:
+// member jobs kept running during the outage, and the coordinator
+// re-attaches to them by the URL + job ID stored in the assignment
+// document (re-registration is not required for polling).
+//
+// Failure model: a member that stops heartbeating past
+// Config.MemberTimeout *and* stops answering polls is declared dead;
+// its unfetched windows are reassigned to live members (each reassigned
+// window restarts from its beginning — member-local checkpoints do not
+// travel). A member job that *fails* (as opposed to becoming
+// unreachable) fails the federated job: the same spec would fail
+// anywhere, so reassignment would loop. Draws are never double-tallied:
+// exactly one fetched Result per window enters the merge, and the merge
+// itself rejects overlaps and gaps.
+
+// Federation sentinels; the HTTP layer maps ErrNotCoordinator to 409
+// and ErrUnknownMember to 404 (a member receiving 404 on heartbeat
+// re-registers, which is how the in-memory registry survives
+// coordinator restarts).
+var (
+	ErrNotCoordinator = errors.New("not a coordinator")
+	ErrUnknownMember  = errors.New("unknown member")
+)
+
+// member is one registered member daemon (coordinator-side state,
+// guarded by Service.mu).
+type member struct {
+	id       string
+	name     string
+	url      string
+	joinedAt time.Time
+	lastSeen time.Time
+}
+
+// MemberStatus is the externally visible snapshot of one registered
+// member — the JSON body of the member endpoints and of sfictl members.
+type MemberStatus struct {
+	// ID is the coordinator-assigned member identity; heartbeats are
+	// keyed on it.
+	ID string `json:"id"`
+	// Name is the member's self-reported display label.
+	Name string `json:"name,omitempty"`
+	// URL is the member's advertised base URL; the coordinator submits
+	// and polls member jobs against it.
+	URL string `json:"url"`
+	// JoinedAt / LastSeen are UTC registration and latest-heartbeat
+	// times.
+	JoinedAt time.Time `json:"joined_at"`
+	LastSeen time.Time `json:"last_seen"`
+	// Alive reports whether the member heartbeat is within the
+	// coordinator's member timeout; dead members get their unfetched
+	// draw windows reassigned.
+	Alive bool `json:"alive"`
+}
+
+// memberRegistration is the JSON body of POST /api/v1/members.
+type memberRegistration struct {
+	URL  string `json:"url"`
+	Name string `json:"name,omitempty"`
+}
+
+func (s *Service) memberStatusLocked(m *member) MemberStatus {
+	return MemberStatus{
+		ID:       m.id,
+		Name:     m.name,
+		URL:      m.url,
+		JoinedAt: m.joinedAt,
+		LastSeen: m.lastSeen,
+		Alive:    time.Since(m.lastSeen) <= s.cfg.MemberTimeout,
+	}
+}
+
+// RegisterMember adds (or refreshes) one member daemon. Registration is
+// idempotent on the advertised URL: re-registering refreshes the
+// heartbeat and display name but keeps the member identity stable.
+func (s *Service) RegisterMember(url, name string) (MemberStatus, error) {
+	if !s.cfg.Coordinator {
+		return MemberStatus{}, ErrNotCoordinator
+	}
+	if url == "" {
+		return MemberStatus{}, fmt.Errorf("%w: member url is required", ErrInvalidSpec)
+	}
+	now := time.Now().UTC()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.members {
+		if m.url == url {
+			m.lastSeen = now
+			if name != "" {
+				m.name = name
+			}
+			return s.memberStatusLocked(m), nil
+		}
+	}
+	s.memberSeq++
+	m := &member{
+		id:       fmt.Sprintf("m%04d", s.memberSeq),
+		name:     name,
+		url:      url,
+		joinedAt: now,
+		lastSeen: now,
+	}
+	s.members[m.id] = m
+	return s.memberStatusLocked(m), nil
+}
+
+// MemberHeartbeat refreshes one member's liveness. An unknown ID fails
+// with ErrUnknownMember (mapped to 404), which tells the member to
+// re-register — the recovery path after a coordinator restart.
+func (s *Service) MemberHeartbeat(id string) (MemberStatus, error) {
+	if !s.cfg.Coordinator {
+		return MemberStatus{}, ErrNotCoordinator
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.members[id]
+	if !ok {
+		return MemberStatus{}, fmt.Errorf("%w: %q", ErrUnknownMember, id)
+	}
+	m.lastSeen = time.Now().UTC()
+	return s.memberStatusLocked(m), nil
+}
+
+// Members lists every registered member, sorted by ID.
+func (s *Service) Members() ([]MemberStatus, error) {
+	if !s.cfg.Coordinator {
+		return nil, ErrNotCoordinator
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MemberStatus, 0, len(s.members))
+	for _, m := range s.members {
+		out = append(out, s.memberStatusLocked(m))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out, nil
+}
+
+// aliveMembers snapshots the live members, sorted by ID so assignment
+// order is deterministic for a given registry state.
+func (s *Service) aliveMembers() []MemberStatus {
+	all, err := s.Members()
+	if err != nil {
+		return nil
+	}
+	alive := all[:0]
+	for _, m := range all {
+		if m.Alive {
+			alive = append(alive, m)
+		}
+	}
+	return alive
+}
+
+// memberAliveByURL reports whether the registry currently considers the
+// member advertising url alive. An unregistered URL counts as dead —
+// after a coordinator restart a member that never re-registered and no
+// longer answers polls must be treated as gone.
+func (s *Service) memberAliveByURL(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.members {
+		if m.url == url {
+			return time.Since(m.lastSeen) <= s.cfg.MemberTimeout
+		}
+	}
+	return false
+}
+
+// fedPart is one draw window's assignment state inside the durable
+// federation document.
+type fedPart struct {
+	// Ranges is the window of each plan stratum this part covers.
+	Ranges []core.DrawRange `json:"ranges"`
+	// MemberURL / MemberJob locate the member job evaluating the part;
+	// empty while unassigned (or after a reassignment reset).
+	MemberURL string `json:"member_url,omitempty"`
+	MemberJob string `json:"member_job,omitempty"`
+	// Fetched marks that the part's Result document is on disk
+	// (partPath) and will enter the merge; Done / Critical carry its
+	// final tallies for progress reporting.
+	Fetched  bool  `json:"fetched,omitempty"`
+	Done     int64 `json:"done,omitempty"`
+	Critical int64 `json:"critical,omitempty"`
+	// AbandonedLanes is the member job's final watchdog-abandoned lane
+	// count, surfaced in the coordinator's merged warnings.
+	AbandonedLanes int64 `json:"abandoned_lanes,omitempty"`
+	// Reassigned counts how many dead members this part was moved off.
+	Reassigned int `json:"reassigned,omitempty"`
+}
+
+// fedDoc is the durable merge state of one federated job
+// (<id>.fed.json). It is persisted after every mutation, so a restarted
+// coordinator re-attaches to every member job and re-evaluates nothing.
+// (The one unavoidable crash window: a crash between a member-submit
+// succeeding and the document persisting leaves an orphan member job —
+// its draws may be evaluated twice on the fleet, but never tallied
+// twice, because only the document's own job enters the merge.)
+type fedDoc struct {
+	ID          string    `json:"id"`
+	Fingerprint uint64    `json:"plan_fingerprint"`
+	Parts       []fedPart `json:"parts,omitempty"`
+}
+
+func (s *Service) fedPath(id string) string {
+	return filepath.Join(s.cfg.Dir, id+".fed.json")
+}
+func (s *Service) partPath(id string, k int) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("%s.part%d.result.json", id, k))
+}
+
+// persistFed writes the federation document atomically (tmp + rename).
+func (s *Service) persistFed(fed *fedDoc) error {
+	data, err := json.MarshalIndent(fed, "", " ")
+	if err != nil {
+		return fmt.Errorf("service: encoding federation state %s: %w", fed.ID, err)
+	}
+	path := s.fedPath(fed.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("service: writing federation state %s: %w", fed.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: committing federation state %s: %w", fed.ID, err)
+	}
+	return nil
+}
+
+// loadOrInitFed restores the job's durable federation document, or
+// starts a fresh one. A document written for a different plan
+// fingerprint is discarded with a warning (the spec on disk is the
+// job's identity; a fingerprint mismatch means the document is stale).
+func (s *Service) loadOrInitFed(j *job, fingerprint uint64) *fedDoc {
+	data, err := os.ReadFile(s.fedPath(j.id))
+	if err == nil {
+		var fed fedDoc
+		if jerr := json.Unmarshal(data, &fed); jerr == nil && fed.Fingerprint == fingerprint {
+			return &fed
+		}
+		s.warnf("job %s: discarding stale federation state %s", j.id, s.fedPath(j.id))
+	}
+	return &fedDoc{ID: j.id, Fingerprint: fingerprint}
+}
+
+// removeFedState deletes the federation document and part results — the
+// cleanup after a completed merge or a user cancellation.
+func (s *Service) removeFedState(j *job, parts int) {
+	os.Remove(s.fedPath(j.id))
+	for k := 0; k < parts; k++ {
+		os.Remove(s.partPath(j.id, k))
+	}
+}
+
+// appendWarning records one operational notice on the job and persists
+// it.
+func (s *Service) appendWarning(j *job, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.warnf("job %s: %s", j.id, msg)
+	s.mu.Lock()
+	j.warnings = append(j.warnings, msg)
+	if err := s.persistLocked(j); err != nil {
+		s.warnf("job %s: %v", j.id, err)
+	}
+	s.mu.Unlock()
+}
+
+// fedClient is the coordinator's HTTP client for member traffic. The
+// timeout doubles as the liveness probe bound: a member that cannot
+// answer a status poll inside it counts as a failed poll.
+var fedClient = &http.Client{Timeout: 5 * time.Second}
+
+// fatalMemberError marks a member response that retrying cannot fix
+// (spec rejected, job failed); transport errors stay retryable.
+type fatalMemberError struct{ msg string }
+
+func (e *fatalMemberError) Error() string { return e.msg }
+
+// memberAPI performs one coordinator→member request and decodes the
+// JSON response into out (when non-nil). Non-2xx responses with an
+// error envelope come back as *fatalMemberError; transport failures
+// come back as plain (retryable) errors.
+func memberAPI(ctx context.Context, method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := fedClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return &fatalMemberError{msg: fmt.Sprintf("%s (HTTP %d)", eb.Error, resp.StatusCode)}
+		}
+		return &fatalMemberError{msg: fmt.Sprintf("HTTP %d", resp.StatusCode)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// fetchMemberResult downloads one completed member job's Result
+// document (the exact WriteJSON bytes).
+func fetchMemberResult(ctx context.Context, memberURL, jobID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		memberURL+"/api/v1/campaigns/"+jobID+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := fedClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &fatalMemberError{msg: fmt.Sprintf("result fetch: HTTP %d", resp.StatusCode)}
+	}
+	return data, nil
+}
+
+// runFederated drives one federated job end to end: split the plan
+// across the live fleet, keep every window assigned to a live member,
+// fetch finished windows, and merge them in draw order. It owns the
+// job's terminal transition exactly like runJob does.
+func (s *Service) runFederated(ctx context.Context, j *job) {
+	_, plan, err := buildCampaign(j.spec, s.cfg.BuildEvaluator)
+	if err != nil {
+		s.finish(j, StateFailed, err.Error(), 0, 0)
+		return
+	}
+	s.mu.Lock()
+	j.planned = plan.TotalInjections()
+	if perr := s.persistLocked(j); perr != nil {
+		s.warnf("job %s: %v", j.id, perr)
+	}
+	s.mu.Unlock()
+
+	fed := s.loadOrInitFed(j, core.PlanFingerprint(plan))
+	ticker := time.NewTicker(s.cfg.FederationPoll)
+	defer ticker.Stop()
+	assignSeq := 0
+	for {
+		done, err := s.fedStep(ctx, j, plan, fed, &assignSeq)
+		if err != nil {
+			s.finish(j, StateFailed, err.Error(), s.fedDone(j), s.fedCritical(j))
+			return
+		}
+		if done {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			if s.isUserCancel(j) {
+				// Best-effort: stop the member jobs, then drop the merge
+				// state — an individually canceled job never resumes.
+				for _, p := range fed.Parts {
+					if p.MemberJob != "" && !p.Fetched {
+						_ = memberAPI(context.Background(), http.MethodDelete,
+							p.MemberURL+"/api/v1/campaigns/"+p.MemberJob, nil, nil)
+					}
+				}
+				s.removeFedState(j, len(fed.Parts))
+				s.finish(j, StateCanceled, "canceled", s.fedDone(j), s.fedCritical(j))
+				return
+			}
+			// Coordinator shutdown: the merge state is durable and the
+			// member jobs keep running; the next daemon run re-attaches.
+			s.repending(j, s.fedDone(j), s.fedCritical(j))
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// fedStep advances the federated job one poll cycle. It returns done
+// when the job reached a terminal transition (completed), and a non-nil
+// error for unrecoverable failures.
+func (s *Service) fedStep(ctx context.Context, j *job, plan *core.Plan, fed *fedDoc, assignSeq *int) (bool, error) {
+	// Split once, by the live fleet size at first sight of any member.
+	if fed.Parts == nil {
+		alive := s.aliveMembers()
+		if len(alive) == 0 {
+			return false, nil // no fleet yet; keep waiting
+		}
+		parts, err := core.SplitPlan(plan, len(alive))
+		if err != nil {
+			return false, err
+		}
+		fed.Parts = make([]fedPart, len(parts))
+		for k, ranges := range parts {
+			fed.Parts[k] = fedPart{Ranges: ranges}
+		}
+		if err := s.persistFed(fed); err != nil {
+			return false, err
+		}
+	}
+
+	var doneSum, critSum int64
+	allFetched := true
+	for k := range fed.Parts {
+		p := &fed.Parts[k]
+		if p.Fetched {
+			doneSum += p.Done
+			critSum += p.Critical
+			continue
+		}
+		allFetched = false
+		if p.MemberJob == "" {
+			if err := s.assignPart(ctx, j, fed, k, assignSeq); err != nil {
+				return false, err
+			}
+			continue
+		}
+		var st JobStatus
+		err := memberAPI(ctx, http.MethodGet, p.MemberURL+"/api/v1/campaigns/"+p.MemberJob, nil, &st)
+		if err != nil {
+			var fatal *fatalMemberError
+			if !errors.As(err, &fatal) && s.memberAliveByURL(p.MemberURL) {
+				continue // transient: the member still heartbeats
+			}
+			// Dead member (or a member that lost the job): reassign the
+			// whole window to a live member. Nothing from the lost run is
+			// tallied, so no draw can be counted twice.
+			s.appendWarning(j, "part %d: member %s unreachable or lost job %s; reassigning its draw ranges (attempt %d)",
+				k, p.MemberURL, p.MemberJob, p.Reassigned+1)
+			p.MemberURL, p.MemberJob = "", ""
+			p.Reassigned++
+			if err := s.persistFed(fed); err != nil {
+				return false, err
+			}
+			continue
+		}
+		switch st.State {
+		case StateCompleted:
+			if err := s.fetchPart(ctx, j, fed, k, st); err != nil {
+				var fatal *fatalMemberError
+				if errors.As(err, &fatal) {
+					return false, err
+				}
+				continue // transient fetch failure: retry next cycle
+			}
+			doneSum += fed.Parts[k].Done
+			critSum += fed.Parts[k].Critical
+		case StateFailed, StateCanceled:
+			// A failing spec fails everywhere; reassigning would loop.
+			return false, fmt.Errorf("service: member %s job %s %s: %s",
+				p.MemberURL, p.MemberJob, st.State, st.Error)
+		default:
+			doneSum += st.Done
+			critSum += st.Critical
+		}
+	}
+	s.publishFedProgress(j, doneSum, critSum, allFetched)
+	if !allFetched {
+		return false, nil
+	}
+	return true, s.mergeFederated(j, plan, fed)
+}
+
+// assignPart submits part k's window to a live member and records the
+// assignment durably. With no live member the part simply stays
+// unassigned until one appears.
+func (s *Service) assignPart(ctx context.Context, j *job, fed *fedDoc, k int, assignSeq *int) error {
+	alive := s.aliveMembers()
+	if len(alive) == 0 {
+		return nil
+	}
+	target := alive[*assignSeq%len(alive)]
+	*assignSeq++
+	spec := j.spec
+	spec.Federated = false
+	spec.Ranges = fed.Parts[k].Ranges
+	spec.Name = fmt.Sprintf("%s#part%d", j.spec.Name, k)
+	var st JobStatus
+	if err := memberAPI(ctx, http.MethodPost, target.URL+"/api/v1/campaigns", spec, &st); err != nil {
+		var fatal *fatalMemberError
+		if errors.As(err, &fatal) {
+			return fmt.Errorf("service: member %s rejected part %d: %w", target.URL, k, err)
+		}
+		return nil // transient: retry next cycle (possibly another member)
+	}
+	fed.Parts[k].MemberURL = target.URL
+	fed.Parts[k].MemberJob = st.ID
+	return s.persistFed(fed)
+}
+
+// fetchPart downloads and persists one completed member Result, parsing
+// it first so a torn response can never enter the merge.
+func (s *Service) fetchPart(ctx context.Context, j *job, fed *fedDoc, k int, st JobStatus) error {
+	data, err := fetchMemberResult(ctx, fed.Parts[k].MemberURL, fed.Parts[k].MemberJob)
+	if err != nil {
+		return err
+	}
+	if _, err := core.ReadResultJSON(bytes.NewReader(data)); err != nil {
+		return &fatalMemberError{msg: fmt.Sprintf("part %d result unparseable: %v", k, err)}
+	}
+	path := s.partPath(j.id, k)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: writing part result: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: committing part result: %w", err)
+	}
+	p := &fed.Parts[k]
+	p.Fetched = true
+	p.Done = st.Done
+	p.Critical = st.Critical
+	p.AbandonedLanes = st.AbandonedLanes
+	if err := s.persistFed(fed); err != nil {
+		return err
+	}
+	if st.AbandonedLanes > 0 {
+		s.appendWarning(j, "member %s job %s: %d watchdog-abandoned lane(s)",
+			p.MemberURL, p.MemberJob, st.AbandonedLanes)
+	}
+	s.mu.Lock()
+	j.abandoned += st.AbandonedLanes
+	if perr := s.persistLocked(j); perr != nil {
+		s.warnf("job %s: %v", j.id, perr)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// mergeFederated folds the fetched part Results into the final document
+// and completes the job. The merge is strict (in-order, gap-free,
+// overlap-free), so any bookkeeping corruption surfaces as a failed
+// job, never as a silently wrong Result.
+func (s *Service) mergeFederated(j *job, plan *core.Plan, fed *fedDoc) error {
+	parts := make([]*core.Result, len(fed.Parts))
+	for k := range fed.Parts {
+		data, err := os.ReadFile(s.partPath(j.id, k))
+		if err != nil {
+			return fmt.Errorf("service: part %d result missing: %w", k, err)
+		}
+		res, err := core.ReadResultJSON(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("service: part %d: %w", k, err)
+		}
+		parts[k] = res
+	}
+	merged, err := core.MergeRangeResults(plan, parts)
+	if err != nil {
+		return err
+	}
+	if werr := s.writeResult(j.id, merged); werr != nil {
+		return werr
+	}
+	s.removeFedState(j, len(fed.Parts))
+	s.finish(j, StateCompleted, "", merged.Injections(), criticalOf(merged))
+	return nil
+}
+
+// fedDone / fedCritical return the job's freshest progress tallies (for
+// the repending/cancel paths, where no engine result exists).
+func (s *Service) fedDone(j *job) int64 {
+	j.pmu.Lock()
+	defer j.pmu.Unlock()
+	return j.prog.Done
+}
+func (s *Service) fedCritical(j *job) int64 {
+	j.pmu.Lock()
+	defer j.pmu.Unlock()
+	return j.prog.Critical
+}
+
+// publishFedProgress snapshots the fleet-summed tallies as the job's
+// live progress and republishes them to SSE subscribers, so watch and
+// status behave identically for federated and local jobs.
+func (s *Service) publishFedProgress(j *job, done, critical int64, final bool) {
+	p := core.Progress{Done: done, Planned: j.planned, Critical: critical, Final: final}
+	j.pmu.Lock()
+	j.prog = p
+	j.hasProg = true
+	j.pmu.Unlock()
+	j.b.publishJSON(telemetry.FromProgress(j.id, p))
+}
+
+// Join registers this daemon with a coordinator and keeps the
+// registration alive with heartbeats until ctx ends — the client half
+// of the membership protocol (sfid -join runs it). advertise is the
+// base URL the coordinator should reach this daemon at. A heartbeat
+// answered with 404 (coordinator restarted, registry gone) triggers
+// re-registration; transport errors are retried at the same cadence
+// and reported through warnf.
+func Join(ctx context.Context, coordinator, advertise, name string, interval time.Duration, warnf func(format string, args ...any)) {
+	if warnf == nil {
+		warnf = func(string, ...any) {}
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var id string
+	for {
+		if id == "" {
+			var st MemberStatus
+			err := memberAPI(ctx, http.MethodPost, coordinator+"/api/v1/members",
+				memberRegistration{URL: advertise, Name: name}, &st)
+			if err != nil {
+				warnf("join: registering with %s: %v", coordinator, err)
+			} else {
+				id = st.ID
+			}
+		} else {
+			err := memberAPI(ctx, http.MethodPost,
+				coordinator+"/api/v1/members/"+id+"/heartbeat", nil, nil)
+			var fatal *fatalMemberError
+			if errors.As(err, &fatal) {
+				id = "" // unknown to the coordinator: re-register next tick
+			} else if err != nil {
+				warnf("join: heartbeat to %s: %v", coordinator, err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

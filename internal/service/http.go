@@ -29,6 +29,9 @@ func Routes() []Route {
 		{"DELETE", "/api/v1/campaigns/{id}", "Cancel a campaign"},
 		{"GET", "/api/v1/campaigns/{id}/result", "Fetch a completed campaign's Result document"},
 		{"GET", "/api/v1/campaigns/{id}/events", "Stream campaign events (SSE)"},
+		{"POST", "/api/v1/members", "Register (or refresh) a member daemon"},
+		{"GET", "/api/v1/members", "List registered members"},
+		{"POST", "/api/v1/members/{id}/heartbeat", "Refresh a member's liveness"},
 		{"GET", "/metrics", "Prometheus metrics with per-campaign labels"},
 		{"GET", "/debug/pprof/", "Go profiling endpoints"},
 	}
@@ -39,15 +42,18 @@ func Routes() []Route {
 // documented /debug/pprof/ subtree).
 func NewMux(s *Service) *http.ServeMux {
 	handlers := map[string]http.HandlerFunc{
-		"GET /healthz":                      s.handleHealthz,
-		"POST /api/v1/campaigns":            s.handleSubmit,
-		"GET /api/v1/campaigns":             s.handleList,
-		"GET /api/v1/campaigns/{id}":        s.handleGet,
-		"DELETE /api/v1/campaigns/{id}":     s.handleCancel,
-		"GET /api/v1/campaigns/{id}/result": s.handleResult,
-		"GET /api/v1/campaigns/{id}/events": s.handleEvents,
-		"GET /metrics":                      s.reg.Handler().ServeHTTP,
-		"GET /debug/pprof/":                 pprof.Index,
+		"GET /healthz":                        s.handleHealthz,
+		"POST /api/v1/campaigns":              s.handleSubmit,
+		"GET /api/v1/campaigns":               s.handleList,
+		"GET /api/v1/campaigns/{id}":          s.handleGet,
+		"DELETE /api/v1/campaigns/{id}":       s.handleCancel,
+		"GET /api/v1/campaigns/{id}/result":   s.handleResult,
+		"GET /api/v1/campaigns/{id}/events":   s.handleEvents,
+		"POST /api/v1/members":                s.handleMemberRegister,
+		"GET /api/v1/members":                 s.handleMemberList,
+		"POST /api/v1/members/{id}/heartbeat": s.handleMemberHeartbeat,
+		"GET /metrics":                        s.reg.Handler().ServeHTTP,
+		"GET /debug/pprof/":                   pprof.Index,
 	}
 	mux := http.NewServeMux()
 	for _, rt := range Routes() {
@@ -159,6 +165,59 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+// memberCode maps a federation-registry error to its HTTP status: a
+// non-coordinator answers 409 (the daemon exists but does not play that
+// role), an unknown member 404 (the signal for the member's Join loop
+// to re-register after a coordinator restart).
+func memberCode(err error) int {
+	switch {
+	case errors.Is(err, ErrNotCoordinator):
+		return http.StatusConflict
+	case errors.Is(err, ErrUnknownMember):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInvalidSpec):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Service) handleMemberRegister(w http.ResponseWriter, r *http.Request) {
+	var reg memberRegistration
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reg); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding member registration: %v", err)
+		return
+	}
+	st, err := s.RegisterMember(reg.URL, reg.Name)
+	if err != nil {
+		writeError(w, memberCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleMemberList(w http.ResponseWriter, _ *http.Request) {
+	members, err := s.Members()
+	if err != nil {
+		writeError(w, memberCode(err), "%v", err)
+		return
+	}
+	if members == nil {
+		members = []MemberStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]MemberStatus{"members": members})
+}
+
+func (s *Service) handleMemberHeartbeat(w http.ResponseWriter, r *http.Request) {
+	st, err := s.MemberHeartbeat(r.PathValue("id"))
+	if err != nil {
+		writeError(w, memberCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleEvents streams a job's events as Server-Sent Events: one

@@ -95,6 +95,19 @@ type Config struct {
 	// Warnf, when set, receives one-line diagnostics (engine warnings,
 	// persistence failures).
 	Warnf func(format string, args ...any)
+	// Coordinator enables federation: member sfid instances may register
+	// (POST /api/v1/members + heartbeats) and federated submissions are
+	// accepted, split across the live members, and merged. Off by
+	// default; a non-coordinator rejects the member endpoints and
+	// federated specs.
+	Coordinator bool
+	// MemberTimeout is how long a member may go without a heartbeat
+	// before the coordinator declares it dead and reassigns its draw
+	// ranges (default 10s).
+	MemberTimeout time.Duration
+	// FederationPoll is the coordinator's member-job polling cadence
+	// (default 500ms).
+	FederationPoll time.Duration
 }
 
 // job is the in-memory state of one campaign. Mutable fields are
@@ -114,6 +127,8 @@ type job struct {
 	done        int64 // final tally (terminal or recovered jobs)
 	critical    int64
 	restored    int64 // checkpoint prefix restored at the last start
+	abandoned   int64 // watchdog-abandoned lanes (local run or summed members)
+	warnings    []string
 	userCancel  bool
 	cancel      context.CancelFunc
 
@@ -135,13 +150,15 @@ type Service struct {
 	wg      sync.WaitGroup
 	drained chan struct{} // closed when Shutdown's wait completes
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []*job // every job, submission order
-	queue    []*job // pending jobs, (priority desc, seq asc)
-	free     int
-	nextSeq  int64
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []*job // every job, submission order
+	queue     []*job // pending jobs, (priority desc, seq asc)
+	free      int
+	nextSeq   int64
+	draining  bool
+	members   map[string]*member // registered fleet (coordinator only)
+	memberSeq int64
 
 	submitted *telemetry.Counter
 	rejected  *telemetry.Counter
@@ -167,6 +184,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
+	if cfg.MemberTimeout <= 0 {
+		cfg.MemberTimeout = 10 * time.Second
+	}
+	if cfg.FederationPoll <= 0 {
+		cfg.FederationPoll = 500 * time.Millisecond
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: state dir: %w", err)
 	}
@@ -178,6 +201,7 @@ func New(cfg Config) (*Service, error) {
 		cancel:  cancel,
 		drained: make(chan struct{}),
 		jobs:    make(map[string]*job),
+		members: make(map[string]*member),
 		free:    cfg.TotalWorkers,
 		nextSeq: 1,
 	}
@@ -209,7 +233,13 @@ func (s *Service) Submit(spec CampaignSpec) (JobStatus, error) {
 	if err := spec.validate(); err != nil {
 		return JobStatus{}, err
 	}
-	if spec.Workers > s.cfg.TotalWorkers {
+	if spec.Federated && !s.cfg.Coordinator {
+		return JobStatus{}, fmt.Errorf("%w: federated submit requires a coordinator (start sfid with -coordinator)",
+			ErrInvalidSpec)
+	}
+	// A federated job holds no local tokens — Workers sizes each member
+	// job, so the member pools are the binding constraint, not ours.
+	if !spec.Federated && spec.Workers > s.cfg.TotalWorkers {
 		return JobStatus{}, fmt.Errorf("%w: workers %d exceeds the service pool of %d",
 			ErrInvalidSpec, spec.Workers, s.cfg.TotalWorkers)
 	}
@@ -262,15 +292,25 @@ func (s *Service) enqueueLocked(j *job) {
 	s.queue[i] = j
 }
 
+// tokenCost is how many shared worker tokens j holds while running: its
+// fixed worker count, or zero for a federated job (the evaluation
+// happens on the members' pools; the coordinator only polls and merges).
+func (j *job) tokenCost() int {
+	if j.spec.Federated {
+		return 0
+	}
+	return j.spec.Workers
+}
+
 // dispatch starts queued jobs while the head job fits in the free
 // token budget. Caller holds s.mu. Head-only admission keeps FIFO
 // fairness: a queued wide job blocks later jobs of equal or lower
 // priority rather than being overtaken forever.
 func (s *Service) dispatch() {
-	for !s.draining && len(s.queue) > 0 && s.queue[0].spec.Workers <= s.free {
+	for !s.draining && len(s.queue) > 0 && s.queue[0].tokenCost() <= s.free {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
-		s.free -= j.spec.Workers
+		s.free -= j.tokenCost()
 		j.state = StateRunning
 		j.startedAt = time.Now().UTC()
 		if err := s.persistLocked(j); err != nil {
@@ -288,6 +328,10 @@ func (s *Service) dispatch() {
 // transition that frees the job's worker tokens.
 func (s *Service) runJob(ctx context.Context, j *job) {
 	defer s.wg.Done()
+	if j.spec.Federated {
+		s.runFederated(ctx, j)
+		return
+	}
 	if info, err := core.ReadCheckpointInfo(s.checkpointPath(j.id)); err == nil {
 		s.mu.Lock()
 		j.restored = info.Injections
@@ -299,7 +343,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		return
 	}
 	s.mu.Lock()
-	j.planned = plan.TotalInjections()
+	j.planned = plannedOf(j.spec, plan)
 	if err := s.persistLocked(j); err != nil {
 		s.warnf("job %s: %v", j.id, err)
 	}
@@ -323,18 +367,7 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 		// Service shutdown: the engine already wrote its final
 		// checkpoint. Re-persist as pending so the next daemon run
 		// requeues and resumes this job.
-		s.mu.Lock()
-		j.state = StatePending
-		j.startedAt = time.Time{}
-		j.done = res.Injections()
-		j.critical = criticalOf(res)
-		j.cancel = nil
-		s.free += j.spec.Workers
-		if perr := s.persistLocked(j); perr != nil {
-			s.warnf("job %s: %v", j.id, perr)
-		}
-		s.mu.Unlock()
-		j.b.close(s.stateEvent(j))
+		s.repending(j, res.Injections(), criticalOf(res))
 	default:
 		s.finish(j, StateFailed, err.Error(), 0, 0)
 	}
@@ -357,17 +390,43 @@ func (s *Service) isUserCancel(j *job) bool {
 	return j.userCancel
 }
 
+// repending parks an interrupted job back in the pending state on disk
+// (without requeueing in memory — the service is shutting down), so the
+// next daemon run requeues and resumes it.
+func (s *Service) repending(j *job, done, critical int64) {
+	s.mu.Lock()
+	j.state = StatePending
+	j.startedAt = time.Time{}
+	j.done = done
+	j.critical = critical
+	j.cancel = nil
+	s.free += j.tokenCost()
+	if perr := s.persistLocked(j); perr != nil {
+		s.warnf("job %s: %v", j.id, perr)
+	}
+	s.mu.Unlock()
+	j.b.close(s.stateEvent(j))
+}
+
 // finish moves j to a terminal state, frees its tokens, persists, and
-// closes the job's event stream with a final state event.
+// closes the job's event stream with a final state event. The job's
+// abandoned-lane tally is captured from the final progress snapshot so
+// a coordinator can read it off the member's terminal status.
 func (s *Service) finish(j *job, st JobState, errMsg string, done, critical int64) {
+	j.pmu.Lock()
+	abandoned := j.prog.AbandonedLanes
+	j.pmu.Unlock()
 	s.mu.Lock()
 	j.state = st
 	j.errMsg = errMsg
 	j.finishedAt = time.Now().UTC()
 	j.done = done
 	j.critical = critical
+	if abandoned > j.abandoned {
+		j.abandoned = abandoned
+	}
 	j.cancel = nil
-	s.free += j.spec.Workers
+	s.free += j.tokenCost()
 	if err := s.persistLocked(j); err != nil {
 		s.warnf("job %s: %v", j.id, err)
 	}
@@ -543,6 +602,8 @@ func (s *Service) registerServiceMetrics() {
 		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.free) })
 	s.reg.GaugeFunc("sfid_queue_length", "Jobs waiting in the pending queue.",
 		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.queue)) })
+	s.reg.GaugeFunc("sfid_members_alive", "Registered member daemons within the heartbeat timeout (coordinator only).",
+		func() float64 { return float64(len(s.aliveMembers())) })
 	for _, st := range []JobState{StatePending, StateRunning, StateCompleted, StateFailed, StateCanceled} {
 		st := st
 		s.reg.LabeledGaugeFunc("sfid_jobs", "Jobs by lifecycle state.",

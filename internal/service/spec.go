@@ -68,6 +68,20 @@ type CampaignSpec struct {
 	// MaxRetries bounds retries per failing experiment before
 	// quarantine. Omit to disable campaign supervision.
 	MaxRetries *int `json:"max_retries,omitempty"`
+	// Federated submits the campaign to the member fleet instead of the
+	// local pool: a coordinator splits the plan into contiguous
+	// per-stratum draw windows, runs one ranged job per live member, and
+	// merges the partial Results in draw order — byte-identical to a
+	// single-node run of the same (plan, seed). Requires a coordinator
+	// (Config.Coordinator); Workers then sizes each member job, and the
+	// federated job itself holds no local worker tokens.
+	Federated bool `json:"federated,omitempty"`
+	// Ranges restricts the campaign to the [from, to) draw window of
+	// each stratum (one entry per plan stratum, in plan order). This is
+	// how a coordinator ships one member's share of a federated plan; it
+	// composes with checkpoints and resume like any other job. Mutually
+	// exclusive with Federated and EarlyStop.
+	Ranges []core.DrawRange `json:"ranges,omitempty"`
 }
 
 var approaches = map[string]bool{
@@ -152,6 +166,20 @@ func (spec *CampaignSpec) validate() error {
 	if spec.MaxRetries != nil && *spec.MaxRetries < 0 {
 		return bad("max_retries must be >= 0 (got %d); omit it to disable supervision", *spec.MaxRetries)
 	}
+	if spec.Federated && len(spec.Ranges) > 0 {
+		return bad("federated and ranges are mutually exclusive; the coordinator assigns each member's ranges")
+	}
+	if spec.Federated && spec.EarlyStop != nil {
+		return bad("federated campaigns cannot early-stop: a member-local stop would break the global sample")
+	}
+	if spec.EarlyStop != nil && len(spec.Ranges) > 0 {
+		return bad("ranges and early_stop are mutually exclusive; a window-local stop would break the federated merge")
+	}
+	for i, r := range spec.Ranges {
+		if r.From < 0 || r.From > r.To {
+			return bad("ranges[%d] = [%d, %d) is not a valid draw window", i, r.From, r.To)
+		}
+	}
 	return nil
 }
 
@@ -207,6 +235,19 @@ func buildCampaign(spec CampaignSpec, build EvaluatorBuilder) (core.Evaluator, *
 	return ev, plan, nil
 }
 
+// plannedOf is the injection total a spec's run will cover: the full
+// plan, or the sum of its draw windows for a ranged (member) job.
+func plannedOf(spec CampaignSpec, plan *core.Plan) int64 {
+	if len(spec.Ranges) == 0 {
+		return plan.TotalInjections()
+	}
+	var n int64
+	for _, r := range spec.Ranges {
+		n += r.Len()
+	}
+	return n
+}
+
 // engineOptions assembles the per-job engine configuration from the
 // spec and the service-level knobs. Only observational options differ
 // from a plain sfirun invocation; everything that affects the Result
@@ -235,6 +276,9 @@ func (s *Service) engineOptions(j *job) []core.Option {
 	}
 	if spec.MaxRetries != nil {
 		opts = append(opts, core.WithMaxRetries(*spec.MaxRetries))
+	}
+	if len(spec.Ranges) > 0 {
+		opts = append(opts, core.WithDrawRanges(spec.Ranges))
 	}
 	if spec.Batch > 1 {
 		// Mirror sfirun: batched inference jobs also group each shard's

@@ -48,6 +48,8 @@ type jobRecord struct {
 	Planned     int64        `json:"planned_injections,omitempty"`
 	Done        int64        `json:"done_injections,omitempty"`
 	Critical    int64        `json:"critical,omitempty"`
+	Abandoned   int64        `json:"abandoned_lanes,omitempty"`
+	Warnings    []string     `json:"warnings,omitempty"`
 }
 
 // persistLocked writes j's record atomically (tmp + rename). Caller
@@ -65,6 +67,8 @@ func (s *Service) persistLocked(j *job) error {
 		Planned:     j.planned,
 		Done:        j.done,
 		Critical:    j.critical,
+		Abandoned:   j.abandoned,
+		Warnings:    j.warnings,
 	}
 	data, err := json.MarshalIndent(rec, "", " ")
 	if err != nil {
@@ -123,6 +127,8 @@ func (s *Service) recover() error {
 			planned:     rec.Planned,
 			done:        rec.Done,
 			critical:    rec.Critical,
+			abandoned:   rec.Abandoned,
+			warnings:    rec.Warnings,
 			b:           newBroadcaster(),
 		}
 		if j.state == StateRunning {
@@ -207,6 +213,13 @@ type JobStatus struct {
 	Critical int64   `json:"critical"`
 	Rate     float64 `json:"rate,omitempty"`
 	Restored int64   `json:"restored_injections,omitempty"`
+	// AbandonedLanes counts the watchdog-abandoned experiment lanes the
+	// job accumulated (summed across members for a federated job).
+	AbandonedLanes int64 `json:"abandoned_lanes,omitempty"`
+	// Warnings are the job's operational notices — today, a federated
+	// coordinator's range reassignments and per-member abandoned-lane
+	// reports.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // statusLocked snapshots j. Caller holds s.mu.
@@ -225,6 +238,8 @@ func (s *Service) statusLocked(j *job) JobStatus {
 		Critical:    j.critical,
 		Restored:    j.restored,
 	}
+	st.AbandonedLanes = j.abandoned
+	st.Warnings = append([]string(nil), j.warnings...)
 	if j.state == StatePending {
 		for i, q := range s.queue {
 			if q == j {
@@ -239,6 +254,9 @@ func (s *Service) statusLocked(j *job) JobStatus {
 			st.Done = j.prog.Done
 			st.Critical = j.prog.Critical
 			st.Rate = j.prog.Rate
+			if j.prog.AbandonedLanes > st.AbandonedLanes {
+				st.AbandonedLanes = j.prog.AbandonedLanes
+			}
 		}
 		j.pmu.Unlock()
 	}

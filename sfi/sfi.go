@@ -171,6 +171,10 @@ type (
 	// QuarantinedFault is one draw a supervised campaign excluded from
 	// the tally after exhausting its retry budget (Result.Quarantined).
 	QuarantinedFault = core.QuarantinedFault
+	// DrawRange selects the contiguous [From, To) draw positions of one
+	// stratum's sample — the unit federated campaigns shard a plan by
+	// (see WithDrawRanges, SplitPlan, MergeRangeResults).
+	DrawRange = core.DrawRange
 )
 
 // The four SFI approaches, in the paper's order.
@@ -193,7 +197,26 @@ var (
 	ErrCheckpointSeed    = core.ErrCheckpointSeed
 	ErrCheckpointPlan    = core.ErrCheckpointPlan
 	ErrCheckpointWorkers = core.ErrCheckpointWorkers
+	ErrCheckpointRange   = core.ErrCheckpointRange
 )
+
+// WithDrawRanges restricts an Engine to the [From, To) draw window of
+// each stratum (one DrawRange per stratum, in plan order); the sample is
+// still drawn in full, so draw j of stratum i names the same fault on
+// every member of a federated campaign.
+func WithDrawRanges(ranges []DrawRange) EngineOption { return core.WithDrawRanges(ranges) }
+
+// SplitPlan cuts every stratum of a plan into n contiguous draw windows
+// (sizes differing by at most one draw), one WithDrawRanges vector per
+// part.
+func SplitPlan(plan *Plan, n int) ([][]DrawRange, error) { return core.SplitPlan(plan, n) }
+
+// MergeRangeResults folds shard-range Results back into the
+// full-campaign Result, strictly in draw order; the merge is
+// byte-identical to a single-node run of the same (plan, seed).
+func MergeRangeResults(plan *Plan, parts []*Result) (*Result, error) {
+	return core.MergeRangeResults(plan, parts)
+}
 
 // CheckpointInfo is the engine-independent summary of a checkpoint
 // file (schema version, seed, plan fingerprint, writing worker count,
