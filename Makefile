@@ -15,7 +15,9 @@
 #                and diff the served result against the sfirun golden
 #   make federation-smoke  boot a coordinator and two member daemons,
 #                run a federated campaign, and diff the merged result
-#                against the same golden
+#                against the same golden; also asserts the fleet
+#                metrics roll-up and the merged-trace strip-timing
+#                identity against a single-node daemon
 #   make docs-check  fail on dead relative links in README/docs
 #   make vuln    scan the module against the Go vulnerability database
 #                (needs network access; CI runs it on every push)
@@ -96,14 +98,20 @@ service-smoke:
 # service-smoke with -federated, and diff the merged Result against the
 # identical golden. This asserts the coordinator's byte-identity
 # contract — a federated merge over real daemons equals a single-node
-# direct-engine run — from outside the process boundary.
+# direct-engine run — from outside the process boundary. On top of the
+# Result diff it asserts the observability surface: the coordinator's
+# /metrics must report both members up and a nonzero fleet injection
+# roll-up, and the merged correlated trace, stripped of timing, must be
+# byte-identical to a single-node daemon's stripped trace of the same
+# spec.
 federation-smoke:
 	@set -e; tmp=$$(mktemp -d); pids=; \
 	trap 'kill $$pids 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/sfid" ./cmd/sfid; \
 	$(GO) build -o "$$tmp/sfictl" ./cmd/sfictl; \
+	$(GO) build -o "$$tmp/sfitrace" ./cmd/sfitrace; \
 	"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/coord" -coordinator \
-		2>"$$tmp/coord.log" & pids="$$pids $$!"; \
+		-scrape-interval 200ms 2>"$$tmp/coord.log" & pids="$$pids $$!"; \
 	addr=; for i in $$(seq 1 100); do \
 		addr=$$(sed -n 's|^sfid: listening on \(http://[^ ]*\) .*|\1|p' "$$tmp/coord.log"); \
 		[ -n "$$addr" ] && break; sleep 0.1; \
@@ -124,6 +132,28 @@ federation-smoke:
 	"$$tmp/sfictl" -addr "$$addr" watch -id "$$id" >/dev/null 2>&1; \
 	"$$tmp/sfictl" -addr "$$addr" result -id "$$id" >"$$tmp/result.json"; \
 	diff -u cmd/sfid/testdata/service_smoke.result.golden "$$tmp/result.json"; \
+	for i in $$(seq 1 100); do \
+		curl -sf "$$addr/metrics" >"$$tmp/metrics" || true; \
+		grep -q 'sfid_member_up{[^}]*} 1' "$$tmp/metrics" \
+			&& grep -Eq '^sfid_fleet_injections_total [1-9]' "$$tmp/metrics" && break; \
+		sleep 0.1; \
+	done; \
+	grep -q 'sfid_member_up{[^}]*} 1' "$$tmp/metrics" \
+		|| { echo "federation-smoke: coordinator /metrics never reported a member up"; cat "$$tmp/metrics"; exit 1; }; \
+	grep -Eq '^sfid_fleet_injections_total [1-9]' "$$tmp/metrics" \
+		|| { echo "federation-smoke: sfid_fleet_injections_total never left zero"; cat "$$tmp/metrics"; exit 1; }; \
+	"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/single" 2>"$$tmp/single.log" & pids="$$pids $$!"; \
+	saddr=; for i in $$(seq 1 100); do \
+		saddr=$$(sed -n 's|^sfid: listening on \(http://[^ ]*\) .*|\1|p' "$$tmp/single.log"); \
+		[ -n "$$saddr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$saddr" ] || { echo "federation-smoke: single-node daemon never came up"; cat "$$tmp/single.log"; exit 1; }; \
+	sid=$$("$$tmp/sfictl" -addr "$$saddr" submit -model smallcnn -approach data-aware \
+		-margin 0.05 -workers 1 2>/dev/null); \
+	"$$tmp/sfictl" -addr "$$saddr" watch -id "$$sid" >/dev/null 2>&1; \
+	"$$tmp/sfictl" -addr "$$saddr" trace -id "$$sid" | "$$tmp/sfitrace" -strip-timing >"$$tmp/single.stripped"; \
+	"$$tmp/sfictl" -addr "$$addr" trace -id "$$id" | "$$tmp/sfitrace" -strip-timing >"$$tmp/fed.stripped"; \
+	diff -u "$$tmp/single.stripped" "$$tmp/fed.stripped"; \
 	kill -TERM $$pids; wait $$pids; \
 	echo "federation-smoke: OK"
 

@@ -5,8 +5,11 @@
 //	sfictl status -id j000001                            one campaign's status
 //	sfictl watch -id j000001                             stream progress (SSE) until the job settles
 //	sfictl result -id j000001                            fetch the Result document (sfirun-identical bytes)
+//	sfictl trace -id j000001                             fetch the JSONL trace (pipe to sfitrace)
 //	sfictl cancel -id j000001                            cancel a pending or running campaign
 //	sfictl members                                       list a coordinator's registered member daemons
+//	sfictl fleet                                         one-shot fleet view: members, health, running parts
+//	sfictl top                                           the fleet view, refreshed until interrupted
 //	sfictl submit -federated ...                         run one campaign across the member fleet
 //
 // Every subcommand takes -addr (default http://localhost:8766). Job IDs
@@ -51,8 +54,11 @@ commands:
   status   print one campaign's status
   watch    stream a campaign's progress until it settles
   result   fetch a completed campaign's Result document
+  trace    fetch a terminal campaign's JSONL trace
   cancel   cancel a pending or running campaign
   members  list a coordinator's registered member daemons
+  fleet    print a coordinator's live fleet view
+  top      refresh the fleet view periodically
 
 run "sfictl <command> -h" for per-command flags.
 `
@@ -86,10 +92,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return c.watch(ctx, rest)
 	case "result":
 		return c.result(ctx, rest)
+	case "trace":
+		return c.trace(ctx, rest)
 	case "cancel":
 		return c.cancel(ctx, rest)
 	case "members":
 		return c.members(ctx, rest)
+	case "fleet":
+		return c.fleet(ctx, rest)
+	case "top":
+		return c.top(ctx, rest)
 	}
 	fmt.Fprintf(stderr, "sfictl: unknown command %q\n", cmd)
 	fmt.Fprint(stderr, usageText)
@@ -285,8 +297,9 @@ func (c *client) printStatus(st service.JobStatus) {
 
 // watch consumes the SSE event stream, printing progress lines until
 // the job reaches a terminal state. A dropped stream (daemon drain,
-// proxy timeout) falls back to polling status and reconnecting, so
-// watch always ends with the truth.
+// proxy timeout) reconnects with Last-Event-ID so the server replays
+// the retained frames the outage missed, and falls back to polling
+// status — watch always ends with the truth.
 func (c *client) watch(ctx context.Context, args []string) int {
 	fs := c.newFlagSet("watch")
 	id := fs.String("id", "", "job ID (required)")
@@ -296,8 +309,9 @@ func (c *client) watch(ctx context.Context, args []string) int {
 	if *id == "" {
 		return c.fail("watch: -id is required")
 	}
+	var lastID string
 	for {
-		final, err := c.streamEvents(ctx, *id)
+		final, err := c.streamEvents(ctx, *id, &lastID)
 		if err != nil {
 			return c.fail("watch: %v", err)
 		}
@@ -340,11 +354,16 @@ func (c *client) reportFinal(ev service.JobStateEvent) int {
 
 // streamEvents reads one SSE connection. It returns the terminal
 // job_state event if one arrived, or (nil, nil) when the stream ended
-// without one.
-func (c *client) streamEvents(ctx context.Context, id string) (*service.JobStateEvent, error) {
+// without one. lastID tracks the newest `id:` line seen and is sent
+// back as Last-Event-ID on the next connection, so a reconnect resumes
+// where the dropped stream stopped.
+func (c *client) streamEvents(ctx context.Context, id string, lastID *string) (*service.JobStateEvent, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/campaigns/"+id+"/events", nil)
 	if err != nil {
 		return nil, err
+	}
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -365,6 +384,10 @@ func (c *client) streamEvents(ctx context.Context, id string) (*service.JobState
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
+		if seq, ok := strings.CutPrefix(line, "id: "); ok {
+			*lastID = seq
+			continue
+		}
 		payload, ok := strings.CutPrefix(line, "data: ")
 		if !ok {
 			continue // blank separators and comments
@@ -394,8 +417,14 @@ func (c *client) streamEvents(ctx context.Context, id string) (*service.JobState
 			if ev.Planned > 0 {
 				pct = float64(ev.Done) / float64(ev.Planned) * 100
 			}
+			label := ev.Campaign
+			if ev.Part != nil {
+				// A federated job's per-part roll-up frame: attribute
+				// the tallies to the member executing the window.
+				label = fmt.Sprintf("%s part %d (%s)", ev.Campaign, *ev.Part, ev.Member)
+			}
 			fmt.Fprintf(c.stderr, "%s: %s/%s injections (%.1f%%) critical=%s %.0f inj/s\n",
-				ev.Campaign, report.Comma(ev.Done), report.Comma(ev.Planned), pct,
+				label, report.Comma(ev.Done), report.Comma(ev.Planned), pct,
 				report.Comma(ev.Critical), ev.Rate)
 		}
 	}
@@ -420,6 +449,28 @@ func (c *client) result(ctx context.Context, args []string) int {
 	_, err := c.stdout.Write(raw)
 	if err != nil {
 		return c.fail("result: %v", err)
+	}
+	return 0
+}
+
+// trace fetches a terminal campaign's JSONL event trace — the merged
+// global trace for a completed federated job — suitable for piping
+// into sfitrace.
+func (c *client) trace(ctx context.Context, args []string) int {
+	fs := c.newFlagSet("trace")
+	id := fs.String("id", "", "job ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *id == "" {
+		return c.fail("trace: -id is required")
+	}
+	var raw []byte
+	if err := c.api(ctx, http.MethodGet, "/api/v1/campaigns/"+*id+"/trace", nil, &raw); err != nil {
+		return c.fail("trace: %v", err)
+	}
+	if _, err := c.stdout.Write(raw); err != nil {
+		return c.fail("trace: %v", err)
 	}
 	return 0
 }
@@ -451,6 +502,78 @@ func (c *client) members(ctx context.Context, args []string) int {
 	}
 	tab.Render(c.stdout)
 	return 0
+}
+
+// fleet renders the coordinator's live fleet view once: one row per
+// member with health and load, the federated parts assigned to each,
+// and the fleet-wide roll-ups.
+func (c *client) fleet(ctx context.Context, args []string) int {
+	fs := c.newFlagSet("fleet")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var fl service.FleetStatus
+	if err := c.api(ctx, http.MethodGet, "/api/v1/fleet", nil, &fl); err != nil {
+		return c.fail("fleet: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(c.stdout)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(fl)
+		return 0
+	}
+	c.printFleet(fl)
+	return 0
+}
+
+func (c *client) printFleet(fl service.FleetStatus) {
+	tab := report.NewTable("Fleet", "Member", "Name", "Up", "Heartbeat", "Queue", "Rate", "Parts")
+	for _, m := range fl.Members {
+		parts := make([]string, 0, len(m.Parts))
+		for _, p := range m.Parts {
+			parts = append(parts, fmt.Sprintf("%s#%d %s/%s",
+				p.Job, p.Part, report.Comma(p.Done), report.Comma(p.Planned)))
+		}
+		tab.AddRow(m.Member.ID, m.Member.Name, m.Up,
+			fmt.Sprintf("%.1fs", m.HeartbeatAgeSeconds), m.QueueLength,
+			fmt.Sprintf("%.0f", m.Rate), strings.Join(parts, ", "))
+	}
+	tab.Render(c.stdout)
+	fmt.Fprintf(c.stdout, "fleet: %s injections total, %.0f inj/s\n",
+		report.Comma(fl.FleetInjectionsTotal), fl.FleetRate)
+}
+
+// top is fleet on a refresh loop: it clears the screen and re-renders
+// the view every -interval until interrupted (or -n refreshes).
+func (c *client) top(ctx context.Context, args []string) int {
+	fs := c.newFlagSet("top")
+	interval := fs.Duration("interval", 2*time.Second, "refresh cadence")
+	count := fs.Int("n", 0, "number of refreshes before exiting (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *interval <= 0 {
+		return c.fail("top: -interval must be > 0 (got %v)", *interval)
+	}
+	for i := 0; ; i++ {
+		var fl service.FleetStatus
+		if err := c.api(ctx, http.MethodGet, "/api/v1/fleet", nil, &fl); err != nil {
+			return c.fail("top: %v", err)
+		}
+		if i > 0 {
+			fmt.Fprint(c.stdout, "\x1b[H\x1b[2J") // cursor home + clear
+		}
+		c.printFleet(fl)
+		if *count > 0 && i+1 >= *count {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return 0 // interrupt is how top normally ends
+		case <-time.After(*interval):
+		}
+	}
 }
 
 func (c *client) cancel(ctx context.Context, args []string) int {

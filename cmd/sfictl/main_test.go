@@ -63,7 +63,7 @@ func TestUsage(t *testing.T) {
 // TestMissingID pins the exit-1 one-liner for every subcommand that
 // requires -id.
 func TestMissingID(t *testing.T) {
-	for _, cmd := range []string{"status", "watch", "result", "cancel"} {
+	for _, cmd := range []string{"status", "watch", "result", "cancel", "trace"} {
 		t.Run(cmd, func(t *testing.T) {
 			code, stdout, stderr := runCLI(t, cmd)
 			if code != 1 || stdout != "" {
@@ -182,6 +182,7 @@ func TestFederatedAgainstFleet(t *testing.T) {
 		Coordinator:    true,
 		MemberTimeout:  time.Hour,
 		FederationPoll: 10 * time.Millisecond,
+		ScrapeInterval: 20 * time.Millisecond,
 	})
 	coordSrv := httptest.NewServer(service.NewMux(coord))
 	defer coordSrv.Close()
@@ -222,5 +223,33 @@ func TestFederatedAgainstFleet(t *testing.T) {
 	}
 	if stdout != string(want) {
 		t.Errorf("result bytes differ from the coordinator's stored document")
+	}
+
+	// The merged correlated trace streams through the same client.
+	code, stdout, _ = runCLI(t, append(addr, "trace", "-id", id)...)
+	if code != 0 {
+		t.Fatalf("trace exit %d", code)
+	}
+	wantTrace, err := coord.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(wantTrace) {
+		t.Errorf("trace bytes differ from the coordinator's merged trace")
+	}
+
+	// The fleet view renders as a table, as JSON, and via a single top
+	// refresh; a one-member fleet always shows its member row.
+	code, stdout, _ = runCLI(t, append(addr, "fleet")...)
+	if code != 0 || !strings.Contains(stdout, "node-a") || !strings.Contains(stdout, "fleet:") {
+		t.Fatalf("fleet exit %d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, append(addr, "fleet", "-json")...)
+	if code != 0 || !strings.Contains(stdout, `"fleet_injections_total"`) {
+		t.Fatalf("fleet -json exit %d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, append(addr, "top", "-n", "1", "-interval", "10ms")...)
+	if code != 0 || !strings.Contains(stdout, "node-a") {
+		t.Fatalf("top exit %d stdout=%q", code, stdout)
 	}
 }

@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	advertise := fs.String("advertise", "", "base URL the coordinator should reach this member at (default the listen address)")
 	memberName := fs.String("member-name", "", "display label for the member listing (default the hostname)")
 	heartbeat := fs.Duration("heartbeat-interval", 2*time.Second, "cadence of the member's liveness pings")
+	scrapeEvery := fs.Duration("scrape-interval", 2*time.Second, "cadence of the coordinator's member /metrics scrapes")
 	if err := fs.Parse(args); err != nil {
 		return 2 // flag package already printed the error + usage
 	}
@@ -104,6 +105,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *heartbeat <= 0 {
 		return fail("-heartbeat-interval must be > 0 (got %v)", *heartbeat)
 	}
+	if *scrapeEvery <= 0 {
+		return fail("-scrape-interval must be > 0 (got %v)", *scrapeEvery)
+	}
 
 	svc, err := service.New(service.Config{
 		Dir:             *stateDir,
@@ -113,6 +117,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ProgressEvery:   *progEvery,
 		Coordinator:     *coordinator,
 		MemberTimeout:   *memberTimeout,
+		ScrapeInterval:  *scrapeEvery,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "sfid: "+format+"\n", args...)
 		},

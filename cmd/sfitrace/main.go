@@ -32,7 +32,7 @@ func run(_ context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	in := fs.String("in", "-", "trace file to replay (- reads stdin)")
 	strip := fs.Bool("strip-timing", false,
-		"render durations, rates, and utilization as '-' so the report depends only on (plan, seed, workers)")
+		"render durations, rates, and scheduling detail (shards, checkpoints, utilization) as '-' so the report depends only on (plan, seed)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

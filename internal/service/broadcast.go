@@ -5,41 +5,88 @@ import (
 	"sync"
 )
 
+// frame is one published event line stamped with the broadcaster's
+// monotone sequence number. The sequence is what SSE clients echo back
+// as Last-Event-ID, letting a reconnect resume from the replay ring
+// instead of silently skipping whatever was published while the
+// connection was down.
+type frame struct {
+	seq  uint64
+	line []byte
+}
+
 // broadcaster fans one job's event stream out to any number of
 // subscribers (SSE connections). Publishing is non-blocking: it runs on
 // the engine's dispatcher goroutine, so a slow subscriber loses
-// interior events rather than stalling the campaign. Terminal state is
-// still delivered reliably — close hands every subscriber one final
-// event line before closing its channel, and the HTTP layer re-reads
-// the job status after the stream ends.
+// interior events — counted in dropped — rather than stalling the
+// campaign. Terminal state is still delivered reliably: close evicts a
+// buffered interior frame if a subscriber is full, so the final event
+// always lands, and late subscribers get it replayed.
 type broadcaster struct {
-	mu     sync.Mutex
-	subs   map[chan []byte]struct{}
-	closed bool
-	final  []byte // the closing event, replayed to late subscribers
+	mu      sync.Mutex
+	subs    map[chan frame]struct{}
+	closed  bool
+	final   *frame // the closing event, replayed to late subscribers
+	seq     uint64 // last assigned sequence number
+	ring    []frame
+	dropped int64 // interior frames lost to slow subscribers
 }
 
 // subBuffer sizes each subscriber channel. Events arrive at shard
 // cadence, so a few hundred absorbs any realistic scrape stall.
 const subBuffer = 256
 
+// ringSize bounds the replay window. Matching subBuffer means a replay
+// always fits a fresh subscriber channel without dropping.
+const ringSize = subBuffer
+
 func newBroadcaster() *broadcaster {
-	return &broadcaster{subs: make(map[chan []byte]struct{})}
+	return &broadcaster{subs: make(map[chan frame]struct{})}
 }
 
-// subscribe returns a channel of marshaled event lines and a detach
-// function. On an already-closed broadcaster the channel arrives
-// holding the final event and immediately closed.
-func (b *broadcaster) subscribe() (chan []byte, func()) {
-	ch := make(chan []byte, subBuffer)
+// pushRingLocked appends f to the replay ring, evicting the oldest
+// frame once the window is full.
+func (b *broadcaster) pushRingLocked(f frame) {
+	if len(b.ring) == ringSize {
+		copy(b.ring, b.ring[1:])
+		b.ring[len(b.ring)-1] = f
+		return
+	}
+	b.ring = append(b.ring, f)
+}
+
+// replayLocked queues every retained frame newer than since onto ch.
+// The ring never exceeds ch's buffer, so the sends cannot block.
+func (b *broadcaster) replayLocked(ch chan frame, since uint64) {
+	for _, f := range b.ring {
+		if f.seq > since {
+			ch <- f
+		}
+	}
+}
+
+// subscribeSince returns a channel of sequenced event frames and a
+// detach function. since > 0 resumes after that sequence number,
+// replaying retained newer frames first (a reconnecting client's
+// Last-Event-ID); since == 0 is a fresh subscription with no replay.
+// On an already-closed broadcaster the channel arrives pre-loaded — the
+// replay for resumers, the final frame for fresh subscribers — and
+// immediately closed.
+func (b *broadcaster) subscribeSince(since uint64) (chan frame, func()) {
+	ch := make(chan frame, subBuffer)
 	b.mu.Lock()
 	if b.closed {
-		if b.final != nil {
-			ch <- b.final
+		if since > 0 {
+			b.replayLocked(ch, since)
+		} else if b.final != nil {
+			ch <- *b.final
 		}
 		close(ch)
 		b.mu.Unlock()
 		return ch, func() {}
+	}
+	if since > 0 {
+		b.replayLocked(ch, since)
 	}
 	b.subs[ch] = struct{}{}
 	b.mu.Unlock()
@@ -53,32 +100,42 @@ func (b *broadcaster) subscribe() (chan []byte, func()) {
 	}
 }
 
-// publishJSON marshals v once and offers it to every subscriber,
-// dropping per-subscriber on a full buffer. Marshaling is skipped
-// entirely when nobody is listening.
+// publishJSON marshals v once, retains it for replay, and offers it to
+// every subscriber, dropping per-subscriber (counted) on a full buffer.
 func (b *broadcaster) publishJSON(v any) {
 	b.mu.Lock()
-	if b.closed || len(b.subs) == 0 {
-		b.mu.Unlock()
+	defer b.mu.Unlock()
+	if b.closed {
 		return
 	}
 	line, err := json.Marshal(v)
 	if err != nil {
-		b.mu.Unlock()
 		return
 	}
+	b.seq++
+	f := frame{seq: b.seq, line: line}
+	b.pushRingLocked(f)
 	for ch := range b.subs {
 		select {
-		case ch <- line:
+		case ch <- f:
 		default:
+			b.dropped++
 		}
 	}
-	b.mu.Unlock()
 }
 
-// close delivers the final event (best effort per subscriber; the
-// buffered channel makes loss only possible after 256 unread events)
-// and closes every subscriber channel. Idempotent.
+// drops returns how many interior frames were lost to slow subscribers.
+func (b *broadcaster) drops() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// close delivers the final event and closes every subscriber channel.
+// Unlike interior publishes, delivery is guaranteed: a full subscriber
+// has its oldest buffered frame evicted (counted as dropped) to make
+// room — publishes are serialized under mu, so the freed slot cannot be
+// stolen. Idempotent.
 func (b *broadcaster) close(final any) {
 	line, _ := json.Marshal(final)
 	b.mu.Lock()
@@ -87,14 +144,28 @@ func (b *broadcaster) close(final any) {
 		return
 	}
 	b.closed = true
-	b.final = line
-	for ch := range b.subs {
-		if line != nil {
+	if line != nil {
+		b.seq++
+		f := frame{seq: b.seq, line: line}
+		b.final = &f
+		b.pushRingLocked(f)
+		for ch := range b.subs {
 			select {
-			case ch <- line:
+			case ch <- f:
 			default:
+				select {
+				case <-ch:
+					b.dropped++
+				default:
+				}
+				select {
+				case ch <- f:
+				default:
+				}
 			}
 		}
+	}
+	for ch := range b.subs {
 		close(ch)
 	}
 	b.subs = nil

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBroadcastSlowSubscriber pins the drop-not-block contract: a
+// subscriber that never reads costs the campaign nothing. The publisher
+// must complete unblocked, interior frames beyond the buffer are
+// dropped and counted, and the terminal frame still lands — it is the
+// last thing the subscriber reads.
+func TestBroadcastSlowSubscriber(t *testing.T) {
+	b := newBroadcaster()
+	ch, cancel := b.subscribeSince(0)
+	defer cancel()
+
+	const extra = 100
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		for i := 0; i < subBuffer+extra; i++ {
+			b.publishJSON(map[string]int{"i": i})
+		}
+		b.close(map[string]string{"kind": "job_state", "state": "completed"})
+	}()
+	select {
+	case <-published:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+
+	if got := b.drops(); got < extra {
+		t.Errorf("drops() = %d, want >= %d (interior frames beyond the buffer must be counted)", got, extra)
+	}
+
+	var last frame
+	n := 0
+	for f := range ch {
+		last = f
+		n++
+	}
+	if n == 0 {
+		t.Fatal("subscriber channel closed without delivering any frame")
+	}
+	if n > subBuffer {
+		t.Errorf("subscriber received %d frames, more than its %d-slot buffer", n, subBuffer)
+	}
+	if !strings.Contains(string(last.line), "completed") {
+		t.Errorf("last delivered frame = %s, want the terminal job_state frame", last.line)
+	}
+}
+
+// TestBroadcastReplay covers the Last-Event-ID path: a subscriber that
+// detaches and resumes with its last seen sequence number receives
+// exactly the frames published while it was away, in order.
+func TestBroadcastReplay(t *testing.T) {
+	b := newBroadcaster()
+	ch, cancel := b.subscribeSince(0)
+	for i := 0; i < 5; i++ {
+		b.publishJSON(map[string]int{"i": i})
+	}
+	var lastSeq uint64
+	for i := 0; i < 5; i++ {
+		f := <-ch
+		if f.seq != lastSeq+1 {
+			t.Fatalf("frame %d has seq %d, want %d (contiguous)", i, f.seq, lastSeq+1)
+		}
+		lastSeq = f.seq
+	}
+	cancel() // connection drops
+
+	for i := 5; i < 8; i++ {
+		b.publishJSON(map[string]int{"i": i})
+	}
+
+	ch2, cancel2 := b.subscribeSince(lastSeq)
+	defer cancel2()
+	for want := lastSeq + 1; want <= lastSeq+3; want++ {
+		select {
+		case f := <-ch2:
+			if f.seq != want {
+				t.Fatalf("replayed frame has seq %d, want %d", f.seq, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("replay did not deliver the missed frames")
+		}
+	}
+
+	b.close(map[string]string{"state": "completed"})
+	select {
+	case f, open := <-ch2:
+		if !open {
+			t.Fatal("channel closed before the terminal frame")
+		}
+		if !strings.Contains(string(f.line), "completed") {
+			t.Errorf("post-replay frame = %s, want the terminal frame", f.line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("terminal frame never arrived after replay")
+	}
+}
+
+// TestBroadcastLateSubscriber pins closed-broadcaster behavior: a fresh
+// subscriber still gets the final frame; a resuming subscriber gets the
+// retained tail. Both channels arrive already closed.
+func TestBroadcastLateSubscriber(t *testing.T) {
+	b := newBroadcaster()
+	for i := 0; i < 3; i++ {
+		b.publishJSON(map[string]int{"i": i})
+	}
+	b.close(map[string]string{"state": "completed"})
+
+	ch, cancel := b.subscribeSince(0)
+	defer cancel()
+	f, open := <-ch
+	if !open || !strings.Contains(string(f.line), "completed") {
+		t.Errorf("fresh late subscriber got (%s, open=%v), want the final frame", f.line, open)
+	}
+	if _, open := <-ch; open {
+		t.Error("late subscriber channel should be closed after the final frame")
+	}
+
+	ch2, cancel2 := b.subscribeSince(1) // missed frames 2, 3, and the final 4
+	defer cancel2()
+	var seqs []uint64
+	for f := range ch2 {
+		seqs = append(seqs, f.seq)
+	}
+	if len(seqs) != 3 || seqs[0] != 2 || seqs[2] != 4 {
+		t.Errorf("resuming late subscriber replayed seqs %v, want [2 3 4]", seqs)
+	}
+}
+
+// TestBroadcastConcurrency hammers publish, subscribe, detach, and
+// close from many goroutines under the race detector. The assertion is
+// structural: no deadlock (timeout-guarded) and every surviving
+// subscriber's channel ends closed with the terminal frame last.
+func TestBroadcastConcurrency(t *testing.T) {
+	b := newBroadcaster()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.publishJSON(map[string]int{"p": p, "i": i})
+			}
+		}(p)
+	}
+
+	results := make(chan []byte, 16)
+	for sub := 0; sub < 8; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			ch, cancel := b.subscribeSince(0)
+			if sub%2 == 0 {
+				defer cancel()
+			}
+			var last []byte
+			for f := range ch {
+				last = f.line
+				if sub%4 == 1 && len(last) > 0 && f.seq%97 == 0 {
+					cancel() // detach mid-stream; channel closes
+				}
+			}
+			results <- last
+		}(sub)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	b.close(map[string]string{"kind": "job_state", "state": "completed"})
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("broadcaster deadlocked under concurrent publish/subscribe/close")
+	}
+	close(results)
+	for last := range results {
+		// Subscribers that detached themselves may end anywhere; the
+		// ones that stayed attached must end on the terminal frame.
+		if last != nil && !strings.Contains(string(last), "\"p\"") && !strings.Contains(string(last), "completed") {
+			t.Errorf("unexpected last frame: %s", last)
+		}
+	}
+}

@@ -48,6 +48,9 @@ func TestEverySpecFieldIsDocumented(t *testing.T) {
 		reflect.TypeOf(service.JobStatus{}),
 		reflect.TypeOf(service.JobStateEvent{}),
 		reflect.TypeOf(service.MemberStatus{}),
+		reflect.TypeOf(service.FleetStatus{}),
+		reflect.TypeOf(service.FleetMember{}),
+		reflect.TypeOf(service.FleetPart{}),
 	} {
 		for i := 0; i < typ.NumField(); i++ {
 			tag := typ.Field(i).Tag.Get("json")

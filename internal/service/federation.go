@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -24,15 +25,18 @@ import (
 // order (core.MergeRangeResults) — so the federated Result is
 // byte-identical to a single-node run of the same (plan, seed).
 //
-// Durability: the member registry is in-memory only (members
-// re-register via their heartbeat loop, so a coordinator restart
-// rebuilds it within one heartbeat interval), but everything the merge
-// depends on is on disk — the assignment document <id>.fed.json and one
-// <id>.partK.result.json per fetched member result. A restarted
-// coordinator therefore resumes the merge with zero re-evaluated draws:
-// member jobs kept running during the outage, and the coordinator
-// re-attaches to them by the URL + job ID stored in the assignment
-// document (re-registration is not required for polling).
+// Durability: everything the merge depends on is on disk — the
+// assignment document <id>.fed.json and one <id>.partK.result.json per
+// fetched member result — and so is the member registry (members.json,
+// rewritten on every registration), so a restarted coordinator knows
+// its fleet immediately and member identities survive the restart.
+// Members that re-register anyway (the heartbeat-404 fallback, kept for
+// registries predating the durable file) are matched by URL and keep
+// their IDs. A restarted coordinator therefore resumes the merge with
+// zero re-evaluated draws: member jobs kept running during the outage,
+// and the coordinator re-attaches to them by the URL + job ID stored in
+// the assignment document (re-registration is not required for
+// polling).
 //
 // Failure model: a member that stops heartbeating past
 // Config.MemberTimeout *and* stops answering polls is declared dead;
@@ -120,6 +124,7 @@ func (s *Service) RegisterMember(url, name string) (MemberStatus, error) {
 			if name != "" {
 				m.name = name
 			}
+			s.persistMembersLocked()
 			return s.memberStatusLocked(m), nil
 		}
 	}
@@ -132,7 +137,80 @@ func (s *Service) RegisterMember(url, name string) (MemberStatus, error) {
 		lastSeen: now,
 	}
 	s.members[m.id] = m
+	s.persistMembersLocked()
 	return s.memberStatusLocked(m), nil
+}
+
+// memberRecord is the on-disk schema of one registry entry
+// (members.json).
+type memberRecord struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name,omitempty"`
+	URL      string    `json:"url"`
+	JoinedAt time.Time `json:"joined_at"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+func (s *Service) membersPath() string {
+	return filepath.Join(s.cfg.Dir, "members.json")
+}
+
+// persistMembersLocked rewrites the durable member registry atomically
+// (tmp + rename). It runs at registration frequency, not heartbeat
+// frequency, and failures degrade to a warning — a full disk must not
+// reject a member. Caller holds s.mu.
+func (s *Service) persistMembersLocked() {
+	recs := make([]memberRecord, 0, len(s.members))
+	for _, m := range s.members {
+		recs = append(recs, memberRecord{ID: m.id, Name: m.name, URL: m.url, JoinedAt: m.joinedAt, LastSeen: m.lastSeen})
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
+	data, err := json.MarshalIndent(recs, "", " ")
+	if err != nil {
+		s.warnf("members: %v", err)
+		return
+	}
+	path := s.membersPath()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		s.warnf("members: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		s.warnf("members: %v", err)
+	}
+}
+
+// loadMembers restores the durable member registry at startup. Loaded
+// members keep their IDs (so heartbeats from before the restart still
+// resolve) but report dead until their next heartbeat refreshes
+// lastSeen. Unreadable registries are skipped with a warning — members
+// re-register through the heartbeat-404 fallback.
+func (s *Service) loadMembers() {
+	data, err := os.ReadFile(s.membersPath())
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.warnf("members: %v", err)
+		}
+		return
+	}
+	var recs []memberRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		s.warnf("members: %s: %v", s.membersPath(), err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		if r.ID == "" || r.URL == "" {
+			continue
+		}
+		s.members[r.ID] = &member{id: r.ID, name: r.Name, url: r.URL, joinedAt: r.JoinedAt, lastSeen: r.LastSeen}
+		var n int64
+		if _, err := fmt.Sscanf(r.ID, "m%d", &n); err == nil && n > s.memberSeq {
+			s.memberSeq = n
+		}
+	}
 }
 
 // MemberHeartbeat refreshes one member's liveness. An unknown ID fails
@@ -204,9 +282,12 @@ type fedPart struct {
 	// Ranges is the window of each plan stratum this part covers.
 	Ranges []core.DrawRange `json:"ranges"`
 	// MemberURL / MemberJob locate the member job evaluating the part;
-	// empty while unassigned (or after a reassignment reset).
-	MemberURL string `json:"member_url,omitempty"`
-	MemberJob string `json:"member_job,omitempty"`
+	// empty while unassigned (or after a reassignment reset). MemberName
+	// is the member's display label at assignment time — the identity
+	// stamped on the part's trace events and fleet-view rows.
+	MemberURL  string `json:"member_url,omitempty"`
+	MemberJob  string `json:"member_job,omitempty"`
+	MemberName string `json:"member_name,omitempty"`
 	// Fetched marks that the part's Result document is on disk
 	// (partPath) and will enter the merge; Done / Critical carry its
 	// final tallies for progress reporting.
@@ -238,6 +319,9 @@ func (s *Service) fedPath(id string) string {
 }
 func (s *Service) partPath(id string, k int) string {
 	return filepath.Join(s.cfg.Dir, fmt.Sprintf("%s.part%d.result.json", id, k))
+}
+func (s *Service) partTracePath(id string, k int) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("%s.part%d.trace.jsonl", id, k))
 }
 
 // persistFed writes the federation document atomically (tmp + rename).
@@ -273,12 +357,15 @@ func (s *Service) loadOrInitFed(j *job, fingerprint uint64) *fedDoc {
 	return &fedDoc{ID: j.id, Fingerprint: fingerprint}
 }
 
-// removeFedState deletes the federation document and part results — the
-// cleanup after a completed merge or a user cancellation.
+// removeFedState deletes the federation document and the fetched part
+// results and traces — the cleanup after a completed merge (the spliced
+// merged trace has subsumed the part traces by then) or a user
+// cancellation.
 func (s *Service) removeFedState(j *job, parts int) {
 	os.Remove(s.fedPath(j.id))
 	for k := 0; k < parts; k++ {
 		os.Remove(s.partPath(j.id, k))
+		os.Remove(s.partTracePath(j.id, k))
 	}
 }
 
@@ -348,11 +435,12 @@ func memberAPI(ctx context.Context, method, url string, body, out any) error {
 	return json.Unmarshal(data, out)
 }
 
-// fetchMemberResult downloads one completed member job's Result
-// document (the exact WriteJSON bytes).
-func fetchMemberResult(ctx context.Context, memberURL, jobID string) ([]byte, error) {
+// fetchMemberDoc downloads one member job document (result or trace)
+// verbatim. Non-200 responses are fatal — the document either exists
+// completely or not at all once the job is terminal.
+func fetchMemberDoc(ctx context.Context, memberURL, jobID, doc string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		memberURL+"/api/v1/campaigns/"+jobID+"/result", nil)
+		memberURL+"/api/v1/campaigns/"+jobID+"/"+doc, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -366,9 +454,20 @@ func fetchMemberResult(ctx context.Context, memberURL, jobID string) ([]byte, er
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &fatalMemberError{msg: fmt.Sprintf("result fetch: HTTP %d", resp.StatusCode)}
+		return nil, &fatalMemberError{msg: fmt.Sprintf("%s fetch: HTTP %d", doc, resp.StatusCode)}
 	}
 	return data, nil
+}
+
+// fetchMemberResult downloads one completed member job's Result
+// document (the exact WriteJSON bytes).
+func fetchMemberResult(ctx context.Context, memberURL, jobID string) ([]byte, error) {
+	return fetchMemberDoc(ctx, memberURL, jobID, "result")
+}
+
+// fetchMemberTrace downloads one completed member job's JSONL trace.
+func fetchMemberTrace(ctx context.Context, memberURL, jobID string) ([]byte, error) {
+	return fetchMemberDoc(ctx, memberURL, jobID, "trace")
 }
 
 // runFederated drives one federated job end to end: split the plan
@@ -448,20 +547,30 @@ func (s *Service) fedStep(ctx context.Context, j *job, plan *core.Plan, fed *fed
 		}
 	}
 
-	var doneSum, critSum int64
-	allFetched := true
+	parts := make([]FleetPart, len(fed.Parts))
 	for k := range fed.Parts {
 		p := &fed.Parts[k]
+		parts[k] = FleetPart{
+			Job:       j.id,
+			Part:      k,
+			Member:    p.MemberName,
+			MemberURL: p.MemberURL,
+			MemberJob: p.MemberJob,
+			Planned:   rangesLen(p.Ranges),
+		}
 		if p.Fetched {
-			doneSum += p.Done
-			critSum += p.Critical
+			parts[k].Done = p.Done
+			parts[k].Critical = p.Critical
+			parts[k].Fetched = true
 			continue
 		}
-		allFetched = false
 		if p.MemberJob == "" {
 			if err := s.assignPart(ctx, j, fed, k, assignSeq); err != nil {
 				return false, err
 			}
+			parts[k].Member = fed.Parts[k].MemberName
+			parts[k].MemberURL = fed.Parts[k].MemberURL
+			parts[k].MemberJob = fed.Parts[k].MemberJob
 			continue
 		}
 		var st JobStatus
@@ -476,8 +585,9 @@ func (s *Service) fedStep(ctx context.Context, j *job, plan *core.Plan, fed *fed
 			// tallied, so no draw can be counted twice.
 			s.appendWarning(j, "part %d: member %s unreachable or lost job %s; reassigning its draw ranges (attempt %d)",
 				k, p.MemberURL, p.MemberJob, p.Reassigned+1)
-			p.MemberURL, p.MemberJob = "", ""
+			p.MemberURL, p.MemberJob, p.MemberName = "", "", ""
 			p.Reassigned++
+			parts[k].Member, parts[k].MemberURL, parts[k].MemberJob = "", "", ""
 			if err := s.persistFed(fed); err != nil {
 				return false, err
 			}
@@ -492,22 +602,33 @@ func (s *Service) fedStep(ctx context.Context, j *job, plan *core.Plan, fed *fed
 				}
 				continue // transient fetch failure: retry next cycle
 			}
-			doneSum += fed.Parts[k].Done
-			critSum += fed.Parts[k].Critical
+			parts[k].Done = fed.Parts[k].Done
+			parts[k].Critical = fed.Parts[k].Critical
+			parts[k].Fetched = true
 		case StateFailed, StateCanceled:
 			// A failing spec fails everywhere; reassigning would loop.
 			return false, fmt.Errorf("service: member %s job %s %s: %s",
 				p.MemberURL, p.MemberJob, st.State, st.Error)
 		default:
-			doneSum += st.Done
-			critSum += st.Critical
+			parts[k].Done = st.Done
+			parts[k].Critical = st.Critical
+			parts[k].Rate = st.Rate
 		}
 	}
-	s.publishFedProgress(j, doneSum, critSum, allFetched)
+	allFetched := s.publishFedProgress(j, parts)
 	if !allFetched {
 		return false, nil
 	}
 	return true, s.mergeFederated(j, plan, fed)
+}
+
+// rangesLen sums the draw windows of one part.
+func rangesLen(ranges []core.DrawRange) int64 {
+	var n int64
+	for _, r := range ranges {
+		n += r.Len()
+	}
+	return n
 }
 
 // assignPart submits part k's window to a live member and records the
@@ -524,6 +645,12 @@ func (s *Service) assignPart(ctx context.Context, j *job, fed *fedDoc, k int, as
 	spec.Federated = false
 	spec.Ranges = fed.Parts[k].Ranges
 	spec.Name = fmt.Sprintf("%s#part%d", j.spec.Name, k)
+	// Correlation stamp: the member opens its part trace with these, and
+	// the merged trace names them on every spliced event.
+	part := k
+	spec.FederatedJob = j.id
+	spec.FederatedPart = &part
+	spec.FederatedMember = memberLabel(target)
 	var st JobStatus
 	if err := memberAPI(ctx, http.MethodPost, target.URL+"/api/v1/campaigns", spec, &st); err != nil {
 		var fatal *fatalMemberError
@@ -534,11 +661,24 @@ func (s *Service) assignPart(ctx context.Context, j *job, fed *fedDoc, k int, as
 	}
 	fed.Parts[k].MemberURL = target.URL
 	fed.Parts[k].MemberJob = st.ID
+	fed.Parts[k].MemberName = memberLabel(target)
 	return s.persistFed(fed)
 }
 
+// memberLabel is the member identity used in traces and fleet rows: the
+// self-reported display name when set, the registry ID otherwise.
+func memberLabel(m MemberStatus) string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return m.ID
+}
+
 // fetchPart downloads and persists one completed member Result, parsing
-// it first so a torn response can never enter the merge.
+// it first so a torn response can never enter the merge, plus the
+// member's part trace for the merged-trace splice. A member that cannot
+// serve its trace (e.g. an older daemon) degrades to a warning — the
+// trace is observability, the Result is the contract.
 func (s *Service) fetchPart(ctx context.Context, j *job, fed *fedDoc, k int, st JobStatus) error {
 	data, err := fetchMemberResult(ctx, fed.Parts[k].MemberURL, fed.Parts[k].MemberJob)
 	if err != nil {
@@ -546,6 +686,24 @@ func (s *Service) fetchPart(ctx context.Context, j *job, fed *fedDoc, k int, st 
 	}
 	if _, err := core.ReadResultJSON(bytes.NewReader(data)); err != nil {
 		return &fatalMemberError{msg: fmt.Sprintf("part %d result unparseable: %v", k, err)}
+	}
+	tdata, terr := fetchMemberTrace(ctx, fed.Parts[k].MemberURL, fed.Parts[k].MemberJob)
+	var fatal *fatalMemberError
+	switch {
+	case terr == nil:
+		tpath := s.partTracePath(j.id, k)
+		ttmp := tpath + ".tmp"
+		if err := os.WriteFile(ttmp, tdata, 0o644); err != nil {
+			return fmt.Errorf("service: writing part trace: %w", err)
+		}
+		if err := os.Rename(ttmp, tpath); err != nil {
+			return fmt.Errorf("service: committing part trace: %w", err)
+		}
+	case errors.As(terr, &fatal):
+		s.appendWarning(j, "part %d: member %s job %s has no trace (%v); the merged trace will omit it",
+			k, fed.Parts[k].MemberURL, fed.Parts[k].MemberJob, terr)
+	default:
+		return terr // transient: retry the whole fetch next cycle
 	}
 	path := s.partPath(j.id, k)
 	tmp := path + ".tmp"
@@ -600,6 +758,12 @@ func (s *Service) mergeFederated(j *job, plan *core.Plan, fed *fedDoc) error {
 	if werr := s.writeResult(j.id, merged); werr != nil {
 		return werr
 	}
+	// Splice the fetched part traces into the job's merged global trace
+	// before removeFedState deletes them. Trace trouble is a warning,
+	// never a failed merge — the Result is already durable.
+	if terr := s.spliceFederatedTrace(j, plan, fed, merged); terr != nil {
+		s.appendWarning(j, "merged trace: %v", terr)
+	}
 	s.removeFedState(j, len(fed.Parts))
 	s.finish(j, StateCompleted, "", merged.Injections(), criticalOf(merged))
 	return nil
@@ -618,16 +782,45 @@ func (s *Service) fedCritical(j *job) int64 {
 	return j.prog.Critical
 }
 
-// publishFedProgress snapshots the fleet-summed tallies as the job's
-// live progress and republishes them to SSE subscribers, so watch and
-// status behave identically for federated and local jobs.
-func (s *Service) publishFedProgress(j *job, done, critical int64, final bool) {
+// publishFedProgress snapshots this cycle's per-part tallies for the
+// fleet view, publishes one per-part progress frame per part plus the
+// fleet-summed aggregate frame to SSE subscribers — so `sfictl watch`
+// behaves identically for federated and local jobs while part-aware
+// consumers can follow each member — and reports whether every part is
+// fetched.
+func (s *Service) publishFedProgress(j *job, parts []FleetPart) bool {
+	var done, critical int64
+	final := true
+	for _, p := range parts {
+		done += p.Done
+		critical += p.Critical
+		final = final && p.Fetched
+	}
+	s.mu.Lock()
+	j.fedParts = append([]FleetPart(nil), parts...)
+	s.mu.Unlock()
+	for _, fp := range parts {
+		ev := telemetry.NewEvent(telemetry.KindProgress)
+		ev.Campaign = j.id
+		ev.TimeUnixNano = time.Now().UnixNano()
+		ev.FederatedJob = j.id
+		k := fp.Part
+		ev.Part = &k
+		ev.Member = fp.Member
+		ev.Done = fp.Done
+		ev.Planned = fp.Planned
+		ev.Critical = fp.Critical
+		ev.Rate = fp.Rate
+		ev.Final = fp.Fetched
+		j.b.publishJSON(ev)
+	}
 	p := core.Progress{Done: done, Planned: j.planned, Critical: critical, Final: final}
 	j.pmu.Lock()
 	j.prog = p
 	j.hasProg = true
 	j.pmu.Unlock()
 	j.b.publishJSON(telemetry.FromProgress(j.id, p))
+	return final
 }
 
 // Join registers this daemon with a coordinator and keeps the
@@ -644,8 +837,11 @@ func Join(ctx context.Context, coordinator, advertise, name string, interval tim
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	// Jittered cadence (±10%): a fleet started by one script would
+	// otherwise register and heartbeat in lockstep, hammering the
+	// coordinator with synchronized bursts forever.
+	timer := time.NewTimer(jitter(interval))
+	defer timer.Stop()
 	var id string
 	for {
 		if id == "" {
@@ -670,7 +866,13 @@ func Join(ctx context.Context, coordinator, advertise, name string, interval tim
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
+			timer.Reset(jitter(interval))
 		}
 	}
+}
+
+// jitter spreads d by ±10%.
+func jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.9 + 0.2*rand.Float64()))
 }

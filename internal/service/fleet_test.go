@@ -1,0 +1,169 @@
+package service_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cnnsfi/internal/service"
+)
+
+// TestFleetViewAndMetrics is the metrics-federation anchor: a
+// coordinator scraping two live members rolls their per-campaign
+// tallies up into sfid_fleet_injections_total (converging on exactly
+// the planned draw count — the high-water fold neither double-counts
+// nor loses work), re-exports per-member health on its own /metrics,
+// serves the same view over /api/v1/fleet, and marks a killed member
+// down with a bumped scrape-error counter. Non-coordinators refuse the
+// fleet view outright.
+func TestFleetViewAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	cfg := coordConfig(dir, time.Hour)
+	cfg.ScrapeInterval = 20 * time.Millisecond
+	coord, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, coord)
+	coordSrv := httptest.NewServer(service.NewMux(coord))
+	defer coordSrv.Close()
+
+	nodes := make([]*fedNode, 2)
+	for i := range nodes {
+		nodes[i] = startNode(t, memberConfig(4, nil))
+		if _, err := coord.RegisterMember(nodes[i].srv.URL, fmt.Sprintf("node-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer nodes[0].stop(t) // nodes[1] is killed mid-test below
+
+	s := fullSpec("data-aware", 0.05)
+	s.Workers = 1
+	s.Federated = true
+	st, err := coord.Submit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, coord, st.ID, service.StateCompleted)
+	if final.Planned == 0 || final.Done != final.Planned {
+		t.Fatalf("campaign finished %d/%d, want a complete nonzero tally", final.Done, final.Planned)
+	}
+
+	// Members keep their final part tallies scrapeable after completion,
+	// so the fleet counter must converge on exactly the planned total —
+	// overshoot means double-counting, undershoot means lost deltas.
+	var fs service.FleetStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		fs, err = coord.Fleet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.FleetInjectionsTotal == final.Planned {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet injections total = %d, want %d", fs.FleetInjectionsTotal, final.Planned)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(fs.Members) != 2 {
+		t.Fatalf("fleet view has %d members, want 2", len(fs.Members))
+	}
+	for _, m := range fs.Members {
+		if !m.Up || m.ScrapeErrors != 0 {
+			t.Errorf("member %s: up=%v scrapeErrors=%d, want a healthy scrape", m.Member.ID, m.Up, m.ScrapeErrors)
+		}
+	}
+
+	// The coordinator's own exposition re-exports member health and the
+	// fleet roll-up under stable series names.
+	body := httpGetBody(t, coordSrv.URL+"/metrics")
+	for _, want := range []string{
+		`sfid_member_up{member="m0001",name="node-0"} 1`,
+		`sfid_member_up{member="m0002",name="node-1"} 1`,
+		fmt.Sprintf("sfid_fleet_injections_total %d", final.Planned),
+		"sfid_member_heartbeat_age_seconds{",
+		"sfid_member_queue_length{",
+		"sfid_member_scrape_errors_total{",
+		"sfid_fleet_rate ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("coordinator /metrics missing %q", want)
+		}
+	}
+
+	// The HTTP fleet view serves the same status.
+	var httpFS service.FleetStatus
+	if err := json.Unmarshal([]byte(httpGetBody(t, coordSrv.URL+"/api/v1/fleet")), &httpFS); err != nil {
+		t.Fatal(err)
+	}
+	if len(httpFS.Members) != 2 || httpFS.FleetInjectionsTotal != final.Planned {
+		t.Errorf("GET /api/v1/fleet = %d members, %d injections; want 2 members, %d injections",
+			len(httpFS.Members), httpFS.FleetInjectionsTotal, final.Planned)
+	}
+
+	// Kill a member: it stays within the heartbeat timeout (an hour), so
+	// the scraper keeps polling it, fails, and marks it down without
+	// disturbing the accumulated total.
+	nodes[1].stop(t)
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		fs, err = coord.Fleet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var down *service.FleetMember
+		for i := range fs.Members {
+			if fs.Members[i].Member.Name == "node-1" {
+				down = &fs.Members[i]
+			}
+		}
+		if down == nil {
+			t.Fatal("killed member vanished from the fleet view")
+		}
+		if !down.Up && down.ScrapeErrors > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed member never went down: %+v", *down)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fs.FleetInjectionsTotal != final.Planned {
+		t.Errorf("fleet injections total drifted to %d after member death, want %d",
+			fs.FleetInjectionsTotal, final.Planned)
+	}
+	if body := httpGetBody(t, coordSrv.URL+"/metrics"); !strings.Contains(body,
+		`sfid_member_up{member="m0002",name="node-1"} 0`) {
+		t.Error("coordinator /metrics does not report the killed member down")
+	}
+
+	// Members have no fleet to report.
+	if _, err := nodes[0].svc.Fleet(); !errors.Is(err, service.ErrNotCoordinator) {
+		t.Errorf("member Fleet() = %v, want ErrNotCoordinator", err)
+	}
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, data)
+	}
+	return string(data)
+}

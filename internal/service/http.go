@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // Route documents one HTTP endpoint. Routes is the single source of
@@ -28,10 +29,12 @@ func Routes() []Route {
 		{"GET", "/api/v1/campaigns/{id}", "Fetch one campaign's status"},
 		{"DELETE", "/api/v1/campaigns/{id}", "Cancel a campaign"},
 		{"GET", "/api/v1/campaigns/{id}/result", "Fetch a completed campaign's Result document"},
+		{"GET", "/api/v1/campaigns/{id}/trace", "Fetch a terminal campaign's JSONL trace"},
 		{"GET", "/api/v1/campaigns/{id}/events", "Stream campaign events (SSE)"},
 		{"POST", "/api/v1/members", "Register (or refresh) a member daemon"},
 		{"GET", "/api/v1/members", "List registered members"},
 		{"POST", "/api/v1/members/{id}/heartbeat", "Refresh a member's liveness"},
+		{"GET", "/api/v1/fleet", "Live fleet view: members, health, and running parts"},
 		{"GET", "/metrics", "Prometheus metrics with per-campaign labels"},
 		{"GET", "/debug/pprof/", "Go profiling endpoints"},
 	}
@@ -48,10 +51,12 @@ func NewMux(s *Service) *http.ServeMux {
 		"GET /api/v1/campaigns/{id}":          s.handleGet,
 		"DELETE /api/v1/campaigns/{id}":       s.handleCancel,
 		"GET /api/v1/campaigns/{id}/result":   s.handleResult,
+		"GET /api/v1/campaigns/{id}/trace":    s.handleTrace,
 		"GET /api/v1/campaigns/{id}/events":   s.handleEvents,
 		"POST /api/v1/members":                s.handleMemberRegister,
 		"GET /api/v1/members":                 s.handleMemberList,
 		"POST /api/v1/members/{id}/heartbeat": s.handleMemberHeartbeat,
+		"GET /api/v1/fleet":                   s.handleFleet,
 		"GET /metrics":                        s.reg.Handler().ServeHTTP,
 		"GET /debug/pprof/":                   pprof.Index,
 	}
@@ -167,6 +172,30 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Trace(r.PathValue("id"))
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = w.Write(data)
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrJobNotDone):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Service) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	fs, err := s.Fleet()
+	if err != nil {
+		writeError(w, memberCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
 // memberCode maps a federation-registry error to its HTTP status: a
 // non-coordinator answers 409 (the daemon exists but does not play that
 // role), an unknown member 404 (the signal for the member's Join loop
@@ -221,11 +250,15 @@ func (s *Service) handleMemberHeartbeat(w http.ResponseWriter, r *http.Request) 
 }
 
 // handleEvents streams a job's events as Server-Sent Events: one
-// `data: <json>` frame per event, where the payload is either a
-// telemetry.Event (progress and trace kinds) or a JobStateEvent
-// (lifecycle transitions). The stream opens with a job_state snapshot,
-// closes with the terminal job_state event, and ends when the job
-// finishes, the client disconnects, or the service drains.
+// `id: <seq>` + `data: <json>` frame per event, where the payload is
+// either a telemetry.Event (progress and trace kinds) or a
+// JobStateEvent (lifecycle transitions). The stream opens with a
+// job_state snapshot (no id — it is synthesized, not part of the
+// sequence), closes with the terminal job_state event, and ends when
+// the job finishes, the client disconnects, or the service drains. A
+// reconnecting client sends the standard Last-Event-ID header with the
+// last id it saw; frames newer than it are replayed from the retained
+// window, so a dropped connection resumes without losing recent events.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	st, err := s.Get(id)
@@ -238,7 +271,13 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
-	ch, cancel, err := s.Subscribe(id)
+	var since uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			since = n
+		}
+	}
+	ch, cancel, err := s.Subscribe(id, since)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -247,8 +286,13 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	send := func(line []byte) bool {
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+	send := func(f frame) bool {
+		if f.seq > 0 {
+			if _, err := fmt.Fprintf(w, "id: %d\n", f.seq); err != nil {
+				return false
+			}
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", f.line); err != nil {
 			return false
 		}
 		flusher.Flush()
@@ -258,18 +302,18 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		Kind: KindJobState, ID: st.ID, Name: st.Name, State: st.State,
 		Error: st.Error, Planned: st.Planned, Done: st.Done, Critical: st.Critical,
 	})
-	if !send(snapshot) {
+	if !send(frame{line: snapshot}) {
 		return
 	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case line, open := <-ch:
+		case f, open := <-ch:
 			if !open {
 				return
 			}
-			if !send(line) {
+			if !send(f) {
 				return
 			}
 		}

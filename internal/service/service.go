@@ -21,6 +21,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -108,6 +109,9 @@ type Config struct {
 	// FederationPoll is the coordinator's member-job polling cadence
 	// (default 500ms).
 	FederationPoll time.Duration
+	// ScrapeInterval is the coordinator's member /metrics scrape cadence
+	// for the federated metric families (default 2s).
+	ScrapeInterval time.Duration
 }
 
 // job is the in-memory state of one campaign. Mutable fields are
@@ -136,6 +140,10 @@ type job struct {
 	prog    core.Progress
 	hasProg bool
 
+	// fedParts is the latest per-part progress snapshot of a running
+	// federated job, refreshed by each fedStep for the fleet view.
+	fedParts []FleetPart
+
 	b *broadcaster
 }
 
@@ -162,6 +170,10 @@ type Service struct {
 
 	submitted *telemetry.Counter
 	rejected  *telemetry.Counter
+
+	// fleet is the coordinator's member-scrape state (nil otherwise); it
+	// has its own lock so scrapes never contend with the scheduler.
+	fleet *fleetState
 }
 
 // New opens (or creates) the state directory, recovers every persisted
@@ -190,6 +202,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.FederationPoll <= 0 {
 		cfg.FederationPoll = 500 * time.Millisecond
 	}
+	if cfg.ScrapeInterval <= 0 {
+		cfg.ScrapeInterval = 2 * time.Second
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: state dir: %w", err)
 	}
@@ -206,6 +221,11 @@ func New(cfg Config) (*Service, error) {
 		nextSeq: 1,
 	}
 	s.registerServiceMetrics()
+	if cfg.Coordinator {
+		s.fleet = newFleetState()
+		s.loadMembers()
+		s.registerFleetMetrics()
+	}
 	if err := s.recover(); err != nil {
 		cancel()
 		return nil, err
@@ -213,6 +233,10 @@ func New(cfg Config) (*Service, error) {
 	s.mu.Lock()
 	s.dispatch()
 	s.mu.Unlock()
+	if cfg.Coordinator {
+		s.wg.Add(1)
+		go s.scrapeLoop()
+	}
 	return s, nil
 }
 
@@ -349,7 +373,11 @@ func (s *Service) runJob(ctx context.Context, j *job) {
 	}
 	s.mu.Unlock()
 
-	res, err := core.NewEngine(s.engineOptions(j)...).Execute(ctx, ev, plan, j.spec.RunSeed)
+	tr, closeTrace := s.openTrace(j)
+	res, err := core.NewEngine(s.engineOptions(j, tr)...).Execute(ctx, ev, plan, j.spec.RunSeed)
+	// Close the trace before the terminal state transition so the trace
+	// endpoint serves a complete file as soon as the job reads terminal.
+	closeTrace()
 	switch {
 	case err == nil:
 		if werr := s.writeResult(j.id, res); werr != nil {
@@ -525,19 +553,50 @@ func (s *Service) Result(id string) ([]byte, error) {
 	return data, nil
 }
 
+// Trace returns a terminal job's JSONL trace bytes. While the job is
+// pending or running the trace file is still being appended to, so the
+// call answers ErrJobNotDone; failed and canceled jobs serve whatever
+// prefix was recorded (useful for post-mortems). For a completed
+// federated job this is the merged global trace spliced from the member
+// part traces.
+func (s *Service) Trace(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var st JobState
+	if ok {
+		st = j.state
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if !st.terminal() {
+		return nil, fmt.Errorf("%w: %s is %s (the trace is complete only once the job is terminal)", ErrJobNotDone, id, st)
+	}
+	data, err := os.ReadFile(s.tracePath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s recorded no trace", ErrUnknownJob, id)
+		}
+		return nil, fmt.Errorf("service: reading trace: %w", err)
+	}
+	return data, nil
+}
+
 // Subscribe attaches to a job's live event stream. The returned channel
-// yields marshaled telemetry/job-state event lines and closes when the
-// job reaches a terminal state (or the service shuts down); cancel
-// detaches early. A job already finished returns a nil channel — the
-// caller should fall back to Get for the final state.
-func (s *Service) Subscribe(id string) (<-chan []byte, func(), error) {
+// yields sequenced marshaled telemetry/job-state event lines and closes
+// when the job reaches a terminal state (or the service shuts down);
+// cancel detaches early. since > 0 resumes after that sequence number
+// (an SSE client's Last-Event-ID), replaying the retained newer frames;
+// 0 subscribes fresh.
+func (s *Service) Subscribe(id string, since uint64) (<-chan frame, func(), error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
-	ch, cancel := j.b.subscribe()
+	ch, cancel := j.b.subscribeSince(since)
 	return ch, cancel, nil
 }
 
@@ -593,6 +652,43 @@ func (s *Service) traceSink(j *job) core.TraceSink {
 	}
 }
 
+// traceBuffer sizes each job tracer's event queue; events arrive at
+// shard cadence, so this absorbs any realistic disk stall.
+const traceBuffer = 1024
+
+// openTrace starts the job's on-disk JSONL trace, replacing any earlier
+// attempt's file (a resumed run restarts the trace; its campaign_start
+// Restored field records the checkpointed prefix). A federated part job
+// opens with the part_meta correlation prologue, written synchronously
+// so it precedes every engine event. Trace failures degrade to a
+// warning — observability must never fail a campaign — so the returned
+// tracer may be nil; close is always safe to call.
+func (s *Service) openTrace(j *job) (tr *telemetry.Tracer, close func()) {
+	f, err := os.Create(s.tracePath(j.id))
+	if err != nil {
+		s.warnf("job %s: trace: %v", j.id, err)
+		return nil, func() {}
+	}
+	if j.spec.FederatedJob != "" && j.spec.FederatedPart != nil {
+		pm := telemetry.PartMeta(j.spec.Name, j.spec.FederatedJob, *j.spec.FederatedPart,
+			j.spec.FederatedMember, j.spec.Ranges)
+		if data, err := json.Marshal(pm); err == nil {
+			if _, err := f.Write(append(data, '\n')); err != nil {
+				s.warnf("job %s: trace: %v", j.id, err)
+			}
+		}
+	}
+	tr = telemetry.NewTracer(f, traceBuffer)
+	return tr, func() {
+		if err := tr.Close(); err != nil {
+			s.warnf("job %s: trace: %v", j.id, err)
+		}
+		if err := f.Close(); err != nil {
+			s.warnf("job %s: trace: %v", j.id, err)
+		}
+	}
+}
+
 func (s *Service) registerServiceMetrics() {
 	s.submitted = s.reg.Counter("sfid_submitted_total", "Campaigns accepted for scheduling.")
 	s.rejected = s.reg.Counter("sfid_rejected_total", "Submissions rejected by queue backpressure.")
@@ -604,6 +700,16 @@ func (s *Service) registerServiceMetrics() {
 		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.queue)) })
 	s.reg.GaugeFunc("sfid_members_alive", "Registered member daemons within the heartbeat timeout (coordinator only).",
 		func() float64 { return float64(len(s.aliveMembers())) })
+	s.reg.CounterFunc("sfid_sse_dropped_total", "Interior SSE frames dropped to slow subscribers, summed across jobs.",
+		func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var n int64
+			for _, j := range s.order {
+				n += j.b.drops()
+			}
+			return n
+		})
 	for _, st := range []JobState{StatePending, StateRunning, StateCompleted, StateFailed, StateCanceled} {
 		st := st
 		s.reg.LabeledGaugeFunc("sfid_jobs", "Jobs by lifecycle state.",

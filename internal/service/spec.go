@@ -13,6 +13,7 @@ import (
 	"cnnsfi/internal/nn"
 	"cnnsfi/internal/oracle"
 	"cnnsfi/internal/stats"
+	"cnnsfi/internal/telemetry"
 )
 
 // ErrInvalidSpec wraps every spec-validation failure, so the HTTP layer
@@ -82,6 +83,16 @@ type CampaignSpec struct {
 	// composes with checkpoints and resume like any other job. Mutually
 	// exclusive with Federated and EarlyStop.
 	Ranges []core.DrawRange `json:"ranges,omitempty"`
+	// FederatedJob / FederatedPart / FederatedMember correlate a ranged
+	// member job back to the coordinator job it is one part of: the
+	// coordinator stamps them when it ships a part, and the member daemon
+	// opens the part's trace with a part_meta prologue carrying them, so
+	// every line of the coordinator's merged trace can name its origin.
+	// Only valid alongside Ranges. FederatedPart is a pointer so part 0
+	// survives the omitempty encoding.
+	FederatedJob    string `json:"federated_job,omitempty"`
+	FederatedPart   *int   `json:"federated_part,omitempty"`
+	FederatedMember string `json:"federated_member,omitempty"`
 }
 
 var approaches = map[string]bool{
@@ -180,6 +191,12 @@ func (spec *CampaignSpec) validate() error {
 			return bad("ranges[%d] = [%d, %d) is not a valid draw window", i, r.From, r.To)
 		}
 	}
+	if (spec.FederatedJob != "" || spec.FederatedPart != nil || spec.FederatedMember != "") && len(spec.Ranges) == 0 {
+		return bad("federated_job/federated_part/federated_member only label a ranged part job; set ranges or omit them")
+	}
+	if spec.FederatedPart != nil && *spec.FederatedPart < 0 {
+		return bad("federated_part must be >= 0 (got %d)", *spec.FederatedPart)
+	}
 	return nil
 }
 
@@ -251,16 +268,27 @@ func plannedOf(spec CampaignSpec, plan *core.Plan) int64 {
 // engineOptions assembles the per-job engine configuration from the
 // spec and the service-level knobs. Only observational options differ
 // from a plain sfirun invocation; everything that affects the Result
-// (workers, plan, seed) comes from the spec alone.
-func (s *Service) engineOptions(j *job) []core.Option {
+// (workers, plan, seed) comes from the spec alone. tr, when non-nil, is
+// the job's on-disk tracer; its sinks are composed in front of the SSE
+// sinks and label events with the spec name (the trace identity sfirun
+// would use), while SSE frames stay labeled by job ID.
+func (s *Service) engineOptions(j *job, tr *telemetry.Tracer) []core.Option {
 	spec := j.spec
+	progress := s.progressSink(j)
+	trace := s.traceSink(j)
+	if tr != nil {
+		tp, ts := tr.Progress(spec.Name), tr.Sink(spec.Name)
+		sseProgress, sseTrace := progress, trace
+		progress = func(p core.Progress) { tp(p); sseProgress(p) }
+		trace = func(ev core.TraceEvent) { ts(ev); sseTrace(ev) }
+	}
 	opts := []core.Option{
 		core.WithWorkers(spec.Workers),
 		core.WithCheckpoint(s.checkpointPath(j.id)),
 		core.WithResume(), // resume-or-start is idempotent: a missing file starts fresh
 		core.WithWarnings(func(msg string) { s.warnf("job %s: %s", j.id, msg) }),
-		core.WithProgress(s.progressSink(j)),
-		core.WithTrace(s.traceSink(j)),
+		core.WithProgress(progress),
+		core.WithTrace(trace),
 	}
 	if s.cfg.CheckpointEvery > 0 {
 		opts = append(opts, core.WithCheckpointInterval(s.cfg.CheckpointEvery))

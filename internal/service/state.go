@@ -17,11 +17,18 @@ import (
 //	<dir>/<id>.job.json     job record (spec + lifecycle state)
 //	<dir>/<id>.ckpt[.bak]   engine checkpoint v2 (while interrupted)
 //	<dir>/<id>.result.json  final Result document (once completed)
+//	<dir>/<id>.trace.jsonl  JSONL campaign trace (rebuilt on each start)
 //
 // The job record is the scheduler's durable state; the checkpoint is
 // the engine's. Between the two, a killed daemon loses at most the
 // injections evaluated since the last checkpoint interval — and
 // re-evaluates none of the checkpointed prefix on restart.
+//
+// A coordinator additionally keeps <dir>/members.json (the durable
+// member registry) and, per federated job, <id>.fed.json plus the
+// fetched <id>.partK.result.json / <id>.partK.trace.jsonl part
+// documents; the part traces are spliced into <id>.trace.jsonl when the
+// merge completes.
 
 func (s *Service) jobPath(id string) string {
 	return filepath.Join(s.cfg.Dir, id+".job.json")
@@ -31,6 +38,9 @@ func (s *Service) checkpointPath(id string) string {
 }
 func (s *Service) resultPath(id string) string {
 	return filepath.Join(s.cfg.Dir, id+".result.json")
+}
+func (s *Service) tracePath(id string) string {
+	return filepath.Join(s.cfg.Dir, id+".trace.jsonl")
 }
 
 // jobRecord is the on-disk schema of one job. Timestamps are UTC;

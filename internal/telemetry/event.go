@@ -45,6 +45,8 @@ import (
 //	                retries, quarantined, eval_*
 //	progress        campaign, done, planned, critical, stratum, stratum_done,
 //	                stratum_planned, rate, final, retries, quarantined, eval_*
+//	part_meta       campaign, federated_job, part, member, ranges (a federated
+//	                part's correlation prologue; see the federation fields)
 //	drops           dropped (appended by Tracer.Close when events were lost)
 //
 // Every kind also carries time_unix_nano and (except drops) elapsed_ns.
@@ -112,6 +114,18 @@ type Event struct {
 
 	// Dropped is the tracer's lost-event count (kind "drops").
 	Dropped int64 `json:"dropped,omitempty"`
+
+	// Federation correlation. A member daemon running one part of a
+	// federated campaign opens its trace with a part_meta event carrying
+	// all four; a coordinator's merged trace keeps those prologues and
+	// stamps Part/Member onto every spliced member event so each line of
+	// the global trace names the daemon that produced it. All omitted
+	// outside federated traces, so single-node traces are byte-stable.
+	// Part is a pointer so part 0 survives the omitempty encoding.
+	FederatedJob string           `json:"federated_job,omitempty"`
+	Part         *int             `json:"part,omitempty"`
+	Member       string           `json:"member,omitempty"`
+	Ranges       []core.DrawRange `json:"ranges,omitempty"`
 }
 
 // Extra event kinds the tracer emits beyond the engine's TraceKind
@@ -121,11 +135,15 @@ const (
 	KindProgress = "progress"
 	// KindDrops is appended by Tracer.Close when events were dropped.
 	KindDrops = "drops"
+	// KindPartMeta is a federated part's correlation prologue: the
+	// first event of a member's part trace, naming the coordinator job,
+	// part index, member, and draw windows the part covers.
+	KindPartMeta = "part_meta"
 )
 
 // knownKinds is the complete vocabulary ParseEvent accepts.
 var knownKinds = func() map[string]bool {
-	m := map[string]bool{KindProgress: true, KindDrops: true}
+	m := map[string]bool{KindProgress: true, KindDrops: true, KindPartMeta: true}
 	for k := core.TraceCampaignStart; k <= core.TraceCampaignEnd; k++ {
 		m[k.String()] = true
 	}
@@ -136,6 +154,27 @@ var knownKinds = func() map[string]bool {
 // their "not applicable" value.
 func newEvent(kind string) Event {
 	return Event{Kind: kind, Stratum: -1, Layer: -1, Bit: -1, Shard: -1, Worker: -1}
+}
+
+// NewEvent is the constructor for synthesized events — e.g. a
+// coordinator splicing a merged federated trace — returning an Event of
+// the given kind with the index fields at their "not applicable" value,
+// exactly as the tracer's own conversions produce them.
+func NewEvent(kind string) Event { return newEvent(kind) }
+
+// PartMeta builds the correlation prologue of one federated part: the
+// first event of a member's part trace (and, relabelled, of the
+// coordinator's merged trace), naming the coordinator job, part index,
+// member, and the draw windows the part covers.
+func PartMeta(campaign, federatedJob string, part int, member string, ranges []core.DrawRange) Event {
+	e := newEvent(KindPartMeta)
+	e.Campaign = campaign
+	e.TimeUnixNano = time.Now().UnixNano()
+	e.FederatedJob = federatedJob
+	e.Part = &part
+	e.Member = member
+	e.Ranges = ranges
+	return e
 }
 
 // FromTrace converts one engine trace event to its JSONL form, labelled

@@ -181,6 +181,42 @@ func (r *Registry) LabeledGaugeFunc(name, help string, fn func() float64, labels
 	})
 }
 
+// LabeledValue is one sample of a dynamically-labelled metric family:
+// the label set is produced at collect time rather than registration
+// time, so series can come and go with the population they describe
+// (e.g. one series per live fleet member).
+type LabeledValue struct {
+	Labels []Label
+	Value  float64
+}
+
+// GaugeVecFunc registers a gauge family whose whole sample set is
+// computed by fn at scrape time. Unlike LabeledGaugeFunc — one fixed
+// series per registration — the family's label values are dynamic; fn
+// must return every series exactly once per scrape (duplicates would
+// render an invalid exposition).
+func (r *Registry) GaugeVecFunc(name, help string, fn func() []LabeledValue) {
+	r.vecFunc(name, help, "gauge", fn)
+}
+
+// CounterVecFunc registers a counter family whose whole sample set is
+// computed by fn at scrape time; each series' value must be monotone
+// across calls.
+func (r *Registry) CounterVecFunc(name, help string, fn func() []LabeledValue) {
+	r.vecFunc(name, help, "counter", fn)
+}
+
+func (r *Registry) vecFunc(name, help, typ string, fn func() []LabeledValue) {
+	r.register(name, "", help, typ, func(w io.Writer) error {
+		for _, lv := range fn() {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(lv.Labels), formatFloat(lv.Value)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // Histogram registers h as a Prometheus histogram. Bucket bounds are
 // the power-of-two nanosecond bounds of evalstats.Histogram converted
 // to seconds (the Prometheus base unit for durations); the final

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -178,6 +179,9 @@ func Summarize(events []Event) *Summary {
 			st.Margin = ev.Margin
 		case "checkpoint":
 			c.Checkpoints++
+		case KindPartMeta:
+			// Correlation prologue of a federated part (or a spliced
+			// merged trace): identity only, nothing to tally.
 		case "campaign_end":
 			c.Complete = true
 			c.Done = ev.Done
@@ -209,9 +213,13 @@ func Summarize(events []Event) *Summary {
 }
 
 // WriteReport renders the summary as a human-readable report. With
-// stripTiming set, wall-clock durations, rates, and utilization render
-// as "-" so the output is a deterministic function of (plan, seed,
-// workers) — the mode golden tests and `make trace-smoke` diff against.
+// stripTiming set, wall-clock durations, rates, and scheduling detail
+// (shard and checkpoint counts, arena levels, worker utilization, the
+// event total) render as "-" or are omitted, so the output is a
+// deterministic function of (plan, seed) alone — identical across
+// worker counts and across a federated split versus a single-node run.
+// That invariance is what the golden tests, `make trace-smoke`, and the
+// federation-smoke merged-trace diff all rely on.
 func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
 	dur := func(d time.Duration) string {
 		if stripTiming {
@@ -219,9 +227,17 @@ func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
 		}
 		return d.Round(time.Microsecond).String()
 	}
+	count := func(n int) string {
+		if stripTiming {
+			return "-"
+		}
+		return strconv.Itoa(n)
+	}
 	for _, c := range s.Campaigns {
-		fmt.Fprintf(w, "campaign %q — seed %d, fingerprint %s, workers %d\n",
-			c.Campaign, c.Seed, c.Fingerprint, c.Workers)
+		// The worker count is scheduling detail too: stripping it keeps
+		// the report identical across worker counts and fleet shapes.
+		fmt.Fprintf(w, "campaign %q — seed %d, fingerprint %s, workers %s\n",
+			c.Campaign, c.Seed, c.Fingerprint, count(c.Workers))
 		status := "complete"
 		switch {
 		case !c.Complete:
@@ -237,16 +253,22 @@ func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
 			pct = report.Pct(float64(c.Critical) / float64(c.Done))
 		}
 		fmt.Fprintf(w, "  critical: %s (%s)\n", report.Comma(c.Critical), pct)
+		// Arena bytes is a level, not a tally: it reflects worker count
+		// and shard geometry, so the stripped report hides it.
+		arena := report.Comma(c.Eval.ArenaBytes)
+		if stripTiming {
+			arena = "-"
+		}
 		fmt.Fprintf(w, "  eval: %s masked skips, %s evaluated, %s early exits, %s arena bytes\n",
 			report.Comma(c.Eval.Skipped), report.Comma(c.Eval.Evaluated),
-			report.Comma(c.Eval.EarlyExits), report.Comma(c.Eval.ArenaBytes))
+			report.Comma(c.Eval.EarlyExits), arena)
 		if stripTiming {
 			fmt.Fprintf(w, "  wall: -, rate: - inj/s\n")
 		} else {
 			fmt.Fprintf(w, "  wall: %s, rate: %.0f inj/s\n", dur(c.Elapsed), c.Rate)
 		}
-		fmt.Fprintf(w, "  strata: %d planned, %d early-stopped; %d shards, %d checkpoints\n",
-			c.NumStrata, c.EarlyStopped, c.ShardsDone, c.Checkpoints)
+		fmt.Fprintf(w, "  strata: %d planned, %d early-stopped; %s shards, %s checkpoints\n",
+			c.NumStrata, c.EarlyStopped, count(c.ShardsDone), count(c.Checkpoints))
 		// Rendered only for supervised campaigns that actually retried or
 		// quarantined work, so healthy-campaign goldens stay byte-stable.
 		if c.Retries > 0 || c.Quarantined > 0 {
@@ -264,12 +286,14 @@ func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
 				if st.Quarantined > 0 {
 					notes = append(notes, fmt.Sprintf("%d quarantined (margin over reduced n)", st.Quarantined))
 				}
-				t.AddRow(st.Stratum, st.Layer, st.Bit, st.Planned, st.Done, st.Critical, st.Shards, dur(st.Dur), strings.Join(notes, "; "))
+				t.AddRow(st.Stratum, st.Layer, st.Bit, st.Planned, st.Done, st.Critical, count(st.Shards), dur(st.Dur), strings.Join(notes, "; "))
 			}
 			t.Render(w)
 		}
 
-		if len(c.WorkerBusy) > 0 {
+		// Which workers existed and how busy they were is pure
+		// scheduling detail; the stripped report omits the whole block.
+		if len(c.WorkerBusy) > 0 && !stripTiming {
 			workers := make([]int, 0, len(c.WorkerBusy))
 			for wk := range c.WorkerBusy {
 				workers = append(workers, wk)
@@ -277,10 +301,6 @@ func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
 			sort.Ints(workers)
 			fmt.Fprintf(w, "  worker utilization (busy evaluating / campaign wall):\n")
 			for _, wk := range workers {
-				if stripTiming {
-					fmt.Fprintf(w, "    worker %d: busy -\n", wk)
-					continue
-				}
 				util := 0.0
 				if c.Elapsed > 0 {
 					util = float64(c.WorkerBusy[wk]) / float64(c.Elapsed)
@@ -290,7 +310,7 @@ func (s *Summary) WriteReport(w io.Writer, stripTiming bool) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "%d events", s.Events)
+	fmt.Fprintf(w, "%s events", count(s.Events))
 	if s.Dropped > 0 {
 		fmt.Fprintf(w, ", %d DROPPED (trace is incomplete)", s.Dropped)
 	}

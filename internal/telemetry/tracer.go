@@ -105,6 +105,10 @@ func (t *Tracer) emit(ev Event) {
 	}
 }
 
+// Emit enqueues one pre-built event — e.g. a PartMeta correlation
+// prologue — under the same drop policy as the engine-fed sinks.
+func (t *Tracer) Emit(ev Event) { t.emit(ev) }
+
 // Dropped returns how many events have been dropped so far.
 func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
 
