@@ -18,6 +18,12 @@
 #                against the same golden; also asserts the fleet
 #                metrics roll-up and the merged-trace strip-timing
 #                identity against a single-node daemon
+#   make chaos-smoke  federation smoke with a fault-injecting transport
+#                on the coordinator's fleet RPCs (drops, 5xx, torn
+#                bodies, a flapping link) and one induced straggler
+#                member; asserts the merged result still matches the
+#                single-node golden and the resilience layer's metrics
+#                (retries, breaker state, speculative dispatch) moved
 #   make docs-check  fail on dead relative links in README/docs
 #   make vuln    scan the module against the Go vulnerability database
 #                (needs network access; CI runs it on every push)
@@ -28,7 +34,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench fuzz-smoke trace-smoke service-smoke federation-smoke docs-check vuln verify
+.PHONY: build test race vet bench fuzz-smoke trace-smoke service-smoke federation-smoke chaos-smoke docs-check vuln verify
 
 build:
 	$(GO) build ./...
@@ -156,6 +162,56 @@ federation-smoke:
 	diff -u "$$tmp/single.stripped" "$$tmp/fed.stripped"; \
 	kill -TERM $$pids; wait $$pids; \
 	echo "federation-smoke: OK"
+
+# Chaos smoke: the federation smoke with the screws turned. The
+# coordinator's outbound fleet RPCs run through the -chaos transport
+# (dropped connections, synthesized 5xx, torn bodies, a link that flaps
+# down 300ms of every 1500ms), member2 is made a straggler with
+# -eval-delay, and the merged Result must still be byte-identical to
+# the same single-node golden as service-smoke — retries, breaker
+# trips, speculative re-execution and all. The metrics greps pin that
+# the resilience layer actually worked for it: retries were scheduled,
+# every member carries a breaker series, and the straggling window was
+# speculatively re-dispatched.
+chaos-smoke:
+	@set -e; tmp=$$(mktemp -d); pids=; \
+	trap 'kill $$pids 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/sfid" ./cmd/sfid; \
+	$(GO) build -o "$$tmp/sfictl" ./cmd/sfictl; \
+	"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/coord" -coordinator \
+		-chaos "drop=0.1,err=0.1,truncate=0.05,delay=2ms,flap=1500ms/300ms,seed=7" \
+		-federation-poll 100ms -member-rpc-timeout 2s -scrape-interval 200ms \
+		2>"$$tmp/coord.log" & pids="$$pids $$!"; \
+	addr=; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^sfid: listening on \(http://[^ ]*\) .*|\1|p' "$$tmp/coord.log"); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "chaos-smoke: coordinator never came up"; cat "$$tmp/coord.log"; exit 1; }; \
+	"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/member1" -join "$$addr" \
+		-member-name member1 -heartbeat-interval 200ms -eval-delay 2ms \
+		-progress-interval 16 2>"$$tmp/member1.log" & pids="$$pids $$!"; \
+	"$$tmp/sfid" -addr 127.0.0.1:0 -state-dir "$$tmp/member2" -join "$$addr" \
+		-member-name member2 -heartbeat-interval 200ms -eval-delay 15ms \
+		-progress-interval 16 2>"$$tmp/member2.log" & pids="$$pids $$!"; \
+	for i in $$(seq 1 100); do \
+		n=$$("$$tmp/sfictl" -addr "$$addr" members -json 2>/dev/null | grep -c '"alive": true' || true); \
+		[ "$$n" = 2 ] && break; sleep 0.1; \
+	done; \
+	[ "$$n" = 2 ] || { echo "chaos-smoke: members never registered"; cat "$$tmp"/member*.log; exit 1; }; \
+	id=$$("$$tmp/sfictl" -addr "$$addr" submit -model smallcnn -approach data-aware \
+		-margin 0.05 -workers 1 -federated 2>/dev/null); \
+	"$$tmp/sfictl" -addr "$$addr" watch -id "$$id" >/dev/null 2>&1; \
+	"$$tmp/sfictl" -addr "$$addr" result -id "$$id" >"$$tmp/result.json"; \
+	diff -u cmd/sfid/testdata/service_smoke.result.golden "$$tmp/result.json"; \
+	curl -sf "$$addr/metrics" >"$$tmp/metrics"; \
+	grep -Eq '^sfid_retries_total [1-9]' "$$tmp/metrics" \
+		|| { echo "chaos-smoke: sfid_retries_total never left zero under chaos"; cat "$$tmp/metrics"; exit 1; }; \
+	grep -q 'sfid_member_breaker_state{member=' "$$tmp/metrics" \
+		|| { echo "chaos-smoke: no per-member breaker-state series"; cat "$$tmp/metrics"; exit 1; }; \
+	grep -Eq '^sfid_speculative_parts_total [1-9]' "$$tmp/metrics" \
+		|| { echo "chaos-smoke: the induced straggler was never speculatively re-dispatched"; cat "$$tmp/metrics"; exit 1; }; \
+	kill -TERM $$pids; wait $$pids; \
+	echo "chaos-smoke: OK"
 
 # The doc-link checker is a root-level test; running it by name keeps
 # the target fast and the logic in Go instead of shell.

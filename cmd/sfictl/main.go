@@ -12,10 +12,12 @@
 //	sfictl top                                           the fleet view, refreshed until interrupted
 //	sfictl submit -federated ...                         run one campaign across the member fleet
 //
-// Every subcommand takes -addr (default http://localhost:8766). Job IDs
-// print on stdout, human diagnostics on stderr, so submit composes in
-// scripts: id=$(sfictl submit ...). Exit codes: 0 success, 1 failure
-// (one "sfictl: ..." line on stderr), 2 usage errors.
+// Every subcommand takes -addr (default http://localhost:8766) and
+// -timeout (default 30s; 0 disables), which bounds the whole subcommand
+// except the streaming watch/top loops. Job IDs print on stdout, human
+// diagnostics on stderr, so submit composes in scripts:
+// id=$(sfictl submit ...). Exit codes: 0 success, 1 failure (one
+// "sfictl: ..." line on stderr), 2 usage errors.
 package main
 
 import (
@@ -72,7 +74,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	global.SetOutput(stderr)
 	global.Usage = func() { fmt.Fprint(stderr, usageText) }
 	addr := global.String("addr", "http://localhost:8766", "sfid base URL")
+	timeout := global.Duration("timeout", 30*time.Second, "bound on the whole subcommand (0 = none; watch and top are never bounded)")
 	if err := global.Parse(args); err != nil {
+		return 2
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(stderr, "sfictl: -timeout must be >= 0 (got %v)\n", *timeout)
 		return 2
 	}
 	if global.NArg() == 0 {
@@ -81,6 +88,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	cmd, rest := global.Arg(0), global.Args()[1:]
 	c := &client{base: strings.TrimRight(*addr, "/"), stdout: stdout, stderr: stderr}
+	// watch and top stream until the job (or the user) settles the
+	// matter; every other subcommand is a bounded request/response
+	// exchange that must not hang on a wedged daemon.
+	if cmd != "watch" && cmd != "top" && *timeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		ctx = tctx
+	}
 	switch cmd {
 	case "submit":
 		return c.submit(ctx, rest)

@@ -34,6 +34,10 @@ import (
 	"syscall"
 	"time"
 
+	"cnnsfi/internal/core"
+	"cnnsfi/internal/faultmodel"
+	"cnnsfi/internal/nn"
+	"cnnsfi/internal/resilience"
 	"cnnsfi/internal/service"
 )
 
@@ -43,6 +47,31 @@ func main() {
 	stop()
 	os.Exit(code)
 }
+
+// delayedEvaluator wraps the default evaluator builder with a fixed
+// per-experiment sleep. The verdicts (and therefore the Result) are
+// untouched — only wall-clock throughput drops, which is exactly what
+// the chaos smoke needs to turn one member into a straggler.
+func delayedEvaluator(d time.Duration) service.EvaluatorBuilder {
+	return func(spec service.CampaignSpec, net *nn.Network) (core.Evaluator, error) {
+		inner, err := service.DefaultEvaluator(spec, net)
+		if err != nil {
+			return nil, err
+		}
+		return &slowEvaluator{inner: inner, delay: d}, nil
+	}
+}
+
+type slowEvaluator struct {
+	inner core.Evaluator
+	delay time.Duration
+}
+
+func (e *slowEvaluator) IsCritical(f faultmodel.Fault) bool {
+	time.Sleep(e.delay)
+	return e.inner.IsCritical(f)
+}
+func (e *slowEvaluator) Space() faultmodel.Space { return e.inner.Space() }
 
 // run is the whole daemon behind main, parameterised for testing: it
 // serves until ctx is canceled, then drains (campaigns checkpoint and
@@ -65,6 +94,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	memberName := fs.String("member-name", "", "display label for the member listing (default the hostname)")
 	heartbeat := fs.Duration("heartbeat-interval", 2*time.Second, "cadence of the member's liveness pings")
 	scrapeEvery := fs.Duration("scrape-interval", 2*time.Second, "cadence of the coordinator's member /metrics scrapes")
+	rpcTimeout := fs.Duration("member-rpc-timeout", 5*time.Second, "per-attempt deadline for fleet RPCs (document fetches get six times this)")
+	fedPoll := fs.Duration("federation-poll", 0, "coordinator's member-job polling cadence (0 = 500ms default)")
+	chaosSpec := fs.String("chaos", "", "inject faults into this daemon's outbound fleet RPCs, e.g. \"drop=0.1,err=0.1,delay=5ms,flap=2s/500ms,seed=7\" (testing)")
+	evalDelay := fs.Duration("eval-delay", 0, "artificial per-experiment delay, for inducing stragglers in fleet tests")
 	if err := fs.Parse(args); err != nil {
 		return 2 // flag package already printed the error + usage
 	}
@@ -108,16 +141,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *scrapeEvery <= 0 {
 		return fail("-scrape-interval must be > 0 (got %v)", *scrapeEvery)
 	}
+	if *rpcTimeout <= 0 {
+		return fail("-member-rpc-timeout must be > 0 (got %v)", *rpcTimeout)
+	}
+	if *fedPoll < 0 {
+		return fail("-federation-poll must be >= 0 (got %v)", *fedPoll)
+	}
+	if *evalDelay < 0 {
+		return fail("-eval-delay must be >= 0 (got %v)", *evalDelay)
+	}
+	var transport http.RoundTripper
+	if *chaosSpec != "" {
+		chaos, err := resilience.ParseChaos(*chaosSpec)
+		if err != nil {
+			return fail("-chaos: %v", err)
+		}
+		transport = resilience.NewTransport(chaos, nil)
+		fmt.Fprintf(stderr, "sfid: chaos transport active on outbound fleet RPCs (%s)\n", *chaosSpec)
+	}
+	var build service.EvaluatorBuilder
+	if *evalDelay > 0 {
+		build = delayedEvaluator(*evalDelay)
+	}
 
 	svc, err := service.New(service.Config{
-		Dir:             *stateDir,
-		TotalWorkers:    *workers,
-		MaxQueue:        *maxQueue,
-		CheckpointEvery: *ckptEvery,
-		ProgressEvery:   *progEvery,
-		Coordinator:     *coordinator,
-		MemberTimeout:   *memberTimeout,
-		ScrapeInterval:  *scrapeEvery,
+		Dir:              *stateDir,
+		TotalWorkers:     *workers,
+		MaxQueue:         *maxQueue,
+		CheckpointEvery:  *ckptEvery,
+		ProgressEvery:    *progEvery,
+		Coordinator:      *coordinator,
+		MemberTimeout:    *memberTimeout,
+		ScrapeInterval:   *scrapeEvery,
+		MemberRPCTimeout: *rpcTimeout,
+		FederationPoll:   *fedPoll,
+		Transport:        transport,
+		BuildEvaluator:   build,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "sfid: "+format+"\n", args...)
 		},
@@ -148,10 +207,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			name, _ = os.Hostname()
 		}
 		fmt.Fprintf(stderr, "sfid: joining coordinator %s as %q (advertising %s)\n", *join, name, adv)
-		go service.Join(ctx, strings.TrimRight(*join, "/"), adv, name, *heartbeat,
-			func(format string, args ...any) {
+		go service.JoinFleet(ctx, service.JoinConfig{
+			Coordinator: strings.TrimRight(*join, "/"),
+			Advertise:   adv,
+			Name:        name,
+			Interval:    *heartbeat,
+			RPCTimeout:  *rpcTimeout,
+			Transport:   transport,
+			Warnf: func(format string, args ...any) {
 				fmt.Fprintf(stderr, "sfid: "+format+"\n", args...)
-			})
+			},
+		})
 	}
 
 	select {

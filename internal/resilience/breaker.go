@@ -1,0 +1,147 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position. The numeric values are part
+// of the observable surface: sfid_member_breaker_state exports them
+// verbatim (0 closed, 1 half-open, 2 open).
+type State int
+
+const (
+	Closed   State = 0
+	HalfOpen State = 1
+	Open     State = 2
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// ErrOpen is returned (wrapped, via Group.Do) when a breaker refuses a
+// call. It is a transient condition — the breaker re-probes after its
+// open interval — so callers should treat it like an unreachable peer,
+// not a fatal protocol error.
+var ErrOpen = errors.New("circuit breaker open")
+
+// Breaker is a three-state circuit breaker. Consecutive failures trip
+// it open; after OpenFor it admits a single probe (half-open); the
+// probe's outcome either closes it or re-opens it for another
+// interval.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	openFor   time.Duration
+	now       func() time.Time
+
+	state    State
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	probeAt  time.Time
+}
+
+// NewBreaker returns a closed breaker that trips after threshold
+// consecutive failures (min 1) and stays open for openFor before
+// probing.
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if openFor <= 0 {
+		openFor = 10 * time.Second
+	}
+	return &Breaker{threshold: threshold, openFor: openFor, now: time.Now}
+}
+
+// Allow reports whether a call may proceed now. In the open state it
+// returns false until OpenFor has elapsed, then transitions to
+// half-open and admits exactly one probe; while that probe is in
+// flight (bounded by another OpenFor interval, in case the caller
+// never reports back) further calls are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		b.probeAt = b.now()
+		return true
+	default: // HalfOpen
+		if b.probing && b.now().Sub(b.probeAt) < b.openFor {
+			return false
+		}
+		b.probing = true
+		b.probeAt = b.now()
+		return true
+	}
+}
+
+// Success reports a completed call; any state collapses to closed.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a failed call. A failed half-open probe re-opens the
+// breaker immediately; in the closed state failures accumulate until
+// the threshold trips it.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+		b.failures = 0
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = Open
+			b.openedAt = b.now()
+			b.failures = 0
+		}
+	default: // Open: a straggling failure report changes nothing.
+	}
+}
+
+// Available is a read-only placement check: it reports whether a call
+// admitted now could proceed, without consuming the half-open probe
+// slot. Placement logic uses this to skip tripped members without
+// perturbing probe accounting.
+func (b *Breaker) Available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open {
+		return b.now().Sub(b.openedAt) >= b.openFor
+	}
+	return true
+}
+
+// State returns the breaker's current position without side effects.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

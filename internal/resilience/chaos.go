@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Chaos describes an injectable fault mix for the chaos transport.
+// Probabilities are per-request in [0,1]; a zero value injects
+// nothing.
+type Chaos struct {
+	Drop     float64       // probability of a synthetic connection error
+	Err      float64       // probability of a synthesized 503 response
+	Truncate float64       // probability of a half-delivered body
+	Delay    time.Duration // fixed added latency per request
+	// Flap models a member that dies and revives on a schedule: for
+	// FlapDown out of every FlapPeriod, every request fails with a
+	// connection error.
+	FlapPeriod time.Duration
+	FlapDown   time.Duration
+	Seed       int64 // RNG seed; 0 means 1 (deterministic by default)
+}
+
+// ParseChaos parses a comma-separated chaos spec of the form
+// "drop=0.2,delay=50ms,err=0.1,truncate=0.1,flap=2s/500ms,seed=7".
+// Unknown keys are errors; an empty spec is the zero Chaos.
+func ParseChaos(spec string) (Chaos, error) {
+	var c Chaos
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return c, fmt.Errorf("chaos: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "drop":
+			c.Drop, err = parseProb(v)
+		case "err":
+			c.Err, err = parseProb(v)
+		case "truncate":
+			c.Truncate, err = parseProb(v)
+		case "delay":
+			c.Delay, err = time.ParseDuration(v)
+		case "flap":
+			period, down, ok := strings.Cut(v, "/")
+			if !ok {
+				return c, fmt.Errorf("chaos: flap wants period/down, got %q", v)
+			}
+			if c.FlapPeriod, err = time.ParseDuration(period); err == nil {
+				c.FlapDown, err = time.ParseDuration(down)
+			}
+			if err == nil && (c.FlapPeriod <= 0 || c.FlapDown <= 0 || c.FlapDown >= c.FlapPeriod) {
+				err = fmt.Errorf("flap wants 0 < down < period, got %s/%s", period, down)
+			}
+		case "seed":
+			c.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return c, fmt.Errorf("chaos: unknown key %q", k)
+		}
+		if err != nil {
+			return c, fmt.Errorf("chaos: %s: %v", k, err)
+		}
+	}
+	return c, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+// Transport is an http.RoundTripper that injects the configured chaos
+// in front of a base transport. It exists to prove the resilience
+// layer: the fleet must keep its bit-identity contract with this in
+// the request path.
+type Transport struct {
+	Chaos Chaos
+	Base  http.RoundTripper // nil means http.DefaultTransport
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	start time.Time
+}
+
+// NewTransport returns a chaos transport over base (nil for the
+// default transport). The flap clock starts at the first request.
+func NewTransport(c Chaos, base http.RoundTripper) *Transport {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Transport{Chaos: c, Base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// chaosError is the synthetic connection failure: retryable by every
+// sane HTTP client classification.
+type chaosError struct{ what string }
+
+func (e *chaosError) Error() string { return "chaos: " + e.what }
+
+// Timeout and Temporary mark the error like a real net error would.
+func (e *chaosError) Timeout() bool   { return false }
+func (e *chaosError) Temporary() bool { return true }
+
+func (t *Transport) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64() < p
+}
+
+func (t *Transport) flapping() bool {
+	if t.Chaos.FlapPeriod <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	if t.start.IsZero() {
+		t.start = time.Now()
+	}
+	since := time.Since(t.start)
+	t.mu.Unlock()
+	return since%t.Chaos.FlapPeriod < t.Chaos.FlapDown
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.flapping() {
+		return nil, &chaosError{what: "member down (flap window)"}
+	}
+	if t.Chaos.Delay > 0 {
+		timer := time.NewTimer(t.Chaos.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if t.roll(t.Chaos.Drop) {
+		return nil, &chaosError{what: "connection dropped"}
+	}
+	if t.roll(t.Chaos.Err) {
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: synthesized 503\n")),
+			Request:    req,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.roll(t.Chaos.Truncate) {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		// Deliver half the body, then fail the stream the way a torn
+		// connection would.
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(body[:len(body)/2]),
+			&errReader{err: io.ErrUnexpectedEOF},
+		))
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+type errReader struct{ err error }
+
+func (r *errReader) Read([]byte) (int, error) { return 0, r.err }

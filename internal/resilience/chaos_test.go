@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("drop=0.2,delay=50ms,err=0.1,truncate=0.25,flap=2s/500ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Chaos{Drop: 0.2, Err: 0.1, Truncate: 0.25, Delay: 50 * time.Millisecond,
+		FlapPeriod: 2 * time.Second, FlapDown: 500 * time.Millisecond, Seed: 7}
+	if c != want {
+		t.Fatalf("ParseChaos = %+v, want %+v", c, want)
+	}
+	if c, err := ParseChaos(""); err != nil || c != (Chaos{}) {
+		t.Fatalf("empty spec = %+v, %v; want zero, nil", c, err)
+	}
+	for _, bad := range []string{
+		"drop=1.5", "drop=x", "bogus=1", "flap=2s", "flap=500ms/2s", "delay", "flap=0s/0s",
+	} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTransportDropAndErr(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	// drop=1: every request fails with a connection-style error.
+	cl := &http.Client{Transport: NewTransport(Chaos{Drop: 1}, nil)}
+	if _, err := cl.Get(srv.URL); err == nil {
+		t.Fatal("drop=1 transport returned a response")
+	}
+	// err=1: every request yields a synthesized 503 without reaching
+	// the server.
+	cl = &http.Client{Transport: NewTransport(Chaos{Err: 1}, nil)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	const body = "a perfectly reasonable response body"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer srv.Close()
+
+	cl := &http.Client{Transport: NewTransport(Chaos{Truncate: 1}, nil)}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("ReadAll err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(got) >= len(body) || !strings.HasPrefix(body, string(got)) {
+		t.Fatalf("got %d/%d bytes %q, want a strict prefix", len(got), len(body), got)
+	}
+}
+
+func TestTransportFlapWindows(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(Chaos{FlapPeriod: 200 * time.Millisecond, FlapDown: 100 * time.Millisecond}, nil)
+	cl := &http.Client{Transport: tr}
+	// The flap clock starts at the first request, so the first window
+	// is down.
+	if _, err := cl.Get(srv.URL); err == nil {
+		t.Fatal("request during the down window succeeded")
+	}
+	time.Sleep(120 * time.Millisecond)
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request during the up window failed: %v", err)
+	}
+	resp.Body.Close()
+}

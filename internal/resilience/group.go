@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Group combines one retry Policy with a lazily-created circuit
+// breaker per key (in the fleet, the key is the member base URL).
+// Group.Do is the single choke point every member RPC goes through.
+type Group struct {
+	Policy     Policy
+	NewBreaker func() *Breaker // breaker factory; nil means NewBreaker(5, 10s)
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// Breaker returns the breaker for key, creating it closed on first
+// sight.
+func (g *Group) Breaker(key string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.breakers == nil {
+		g.breakers = make(map[string]*Breaker)
+	}
+	br := g.breakers[key]
+	if br == nil {
+		if g.NewBreaker != nil {
+			br = g.NewBreaker()
+		} else {
+			br = NewBreaker(5, 10*time.Second)
+		}
+		g.breakers[key] = br
+	}
+	return br
+}
+
+// States snapshots every known breaker's state, keyed as registered.
+func (g *Group) States() map[string]State {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]State, len(g.breakers))
+	for k, b := range g.breakers {
+		out[k] = b.State()
+	}
+	return out
+}
+
+// Do runs op under the group's retry policy and the breaker for key.
+// Every attempt first consults the breaker: a refusal surfaces as a
+// Permanent error wrapping ErrOpen (retrying locally is pointless —
+// the breaker re-probes on a later call). Attempt outcomes feed the
+// breaker: success closes it, a retryable failure counts against it,
+// and Permanent errors or caller cancellation count as neither (a
+// structured 4xx means the member is healthy but refusing, and a
+// cancelled context says nothing about the member at all).
+func (g *Group) Do(ctx context.Context, key string, op func(ctx context.Context) error) error {
+	br := g.Breaker(key)
+	return g.Policy.Do(ctx, func(ctx context.Context) error {
+		if !br.Allow() {
+			return Permanent(fmt.Errorf("%w: %s", ErrOpen, key))
+		}
+		err := op(ctx)
+		switch {
+		case err == nil:
+			br.Success()
+		case IsPermanent(err) || ctx.Err() != nil:
+			// No breaker movement.
+		default:
+			br.Failure()
+		}
+		return err
+	})
+}

@@ -1,0 +1,189 @@
+// Package resilience provides the fleet's failure-handling primitives:
+// a retry policy with exponential backoff, full jitter, and a shared
+// per-call retry budget; a three-state per-member circuit breaker; and
+// a chaos transport for proving both under injected faults.
+//
+// The package is deliberately free of service-layer concepts — it
+// speaks errors, contexts, and http.RoundTripper only — so the engine
+// hot path never touches it and the service layer wraps RPCs without
+// pulling scheduling logic down here.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// permanentError marks an error as not-retryable. Unwrap preserves
+// errors.Is/As through the wrapper so callers can still classify the
+// underlying failure (e.g. a structured 4xx from a member).
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Policy.Do returns it immediately instead of
+// retrying. Wrapping nil returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Budget is a token bucket shared across calls: each retry (not each
+// first attempt) withdraws one token, and tokens refill at a steady
+// rate. Under a wide outage this caps the retry amplification the
+// fleet can generate — first attempts always proceed, but the extra
+// load from retries is bounded. A nil *Budget never refuses.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	rate   float64 // tokens per second
+	last   time.Time
+	now    func() time.Time // injectable for tests
+}
+
+// NewBudget returns a full bucket holding max tokens that refills at
+// perSecond tokens per second.
+func NewBudget(max, perSecond float64) *Budget {
+	return &Budget{tokens: max, max: max, rate: perSecond, now: time.Now}
+}
+
+// Withdraw takes one retry token, reporting false when the bucket is
+// empty (the retry should be abandoned).
+func (b *Budget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Policy is a reusable retry policy: exponential backoff with full
+// jitter between attempts, an attempt cap, and an optional shared
+// Budget. The zero value is usable and means "3 attempts, 50ms base,
+// 2s cap, no budget".
+type Policy struct {
+	MaxAttempts int           // total attempts including the first; 0 means 3
+	BaseDelay   time.Duration // first backoff ceiling; 0 means 50ms
+	MaxDelay    time.Duration // backoff ceiling; 0 means 2s
+	Budget      *Budget       // shared retry budget; nil means unlimited
+
+	// OnRetry, when set, observes each scheduled retry (attempt is the
+	// 1-based number of the attempt that just failed).
+	OnRetry func(attempt int, err error)
+
+	// Rand and Sleep are injectable for tests. Rand returns a float in
+	// [0,1); Sleep must honour ctx cancellation.
+	Rand  func() float64
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p *Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+func (p *Policy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p *Policy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+var rngMu sync.Mutex
+var rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+
+func defaultRand() float64 {
+	rngMu.Lock()
+	defer rngMu.Unlock()
+	return rng.Float64()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op until it succeeds, returns a Permanent error, the context
+// is cancelled, the attempt cap is reached, or the budget is
+// exhausted. The last error from op is returned on failure.
+func (p *Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	rnd := p.Rand
+	if rnd == nil {
+		rnd = defaultRand
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		err = op(ctx)
+		if err == nil || IsPermanent(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			// The attempt failed because the overall call was cancelled
+			// or timed out; report that rather than the transport noise.
+			return err
+		}
+		if attempt >= p.maxAttempts() || !p.Budget.Withdraw() {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		// Full jitter: sleep uniformly in [0, min(cap, base<<(n-1))).
+		ceil := p.baseDelay() << (attempt - 1)
+		if ceil > p.maxDelay() || ceil <= 0 {
+			ceil = p.maxDelay()
+		}
+		if err := sleep(ctx, time.Duration(rnd()*float64(ceil))); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// noSleep makes Policy.Do instantaneous while recording requested
+// backoffs.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		if delays != nil {
+			*delays = append(*delays, d)
+		}
+		return nil
+	}
+}
+
+func TestPolicyRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(nil), Rand: func() float64 { return 0.5 }}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestPolicyStopsAtMaxAttempts(t *testing.T) {
+	calls := 0
+	retries := 0
+	p := Policy{
+		MaxAttempts: 3,
+		Sleep:       noSleep(nil),
+		Rand:        func() float64 { return 0.5 },
+		OnRetry:     func(int, error) { retries++ },
+	}
+	sentinel := errors.New("still down")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 3 || retries != 2 {
+		t.Fatalf("Do = %v, calls %d, retries %d; want sentinel, 3, 2", err, calls, retries)
+	}
+}
+
+func TestPolicyPermanentShortCircuits(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(nil)}
+	inner := errors.New("bad request")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("member said: %w", inner))
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !IsPermanent(err) || !errors.Is(err, inner) {
+		t.Fatalf("classification lost through wrap: %v", err)
+	}
+}
+
+func TestPolicyHonoursContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 10, Sleep: noSleep(nil), Rand: func() float64 { return 0 }}
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want error after 1 (cancelled)", err, calls)
+	}
+}
+
+func TestPolicyBackoffIsExponentialWithFullJitter(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Sleep:       noSleep(&delays),
+		Rand:        func() float64 { return 1.0 - 1e-9 }, // worst case: near the ceiling
+	}
+	_ = p.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %d entries", delays, len(want))
+	}
+	for i := range want {
+		if delays[i] > want[i] || delays[i] < want[i]/2 {
+			t.Errorf("delay[%d] = %v, want near ceiling %v", i, delays[i], want[i])
+		}
+	}
+	// Full jitter: rand()=0 must produce zero sleeps.
+	delays = nil
+	p.Rand = func() float64 { return 0 }
+	_ = p.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	for i, d := range delays {
+		if d != 0 {
+			t.Errorf("delay[%d] = %v with rand()=0, want 0", i, d)
+		}
+	}
+}
+
+func TestBudgetCapsRetries(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBudget(2, 1) // 2 tokens, 1/s refill
+	b.now = func() time.Time { return clock }
+
+	calls := 0
+	p := Policy{MaxAttempts: 10, Budget: b, Sleep: noSleep(nil), Rand: func() float64 { return 0 }}
+	_ = p.Do(context.Background(), func(context.Context) error { calls++; return errors.New("x") })
+	if calls != 3 { // first attempt + 2 budgeted retries
+		t.Fatalf("calls = %d, want 3 (budget of 2 retries)", calls)
+	}
+	// Exhausted: the next failing call gets no retries at all.
+	calls = 0
+	_ = p.Do(context.Background(), func(context.Context) error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Fatalf("calls = %d with empty budget, want 1", calls)
+	}
+	// Refill restores capacity.
+	clock = clock.Add(5 * time.Second)
+	calls = 0
+	_ = p.Do(context.Background(), func(context.Context) error { calls++; return errors.New("x") })
+	if calls != 3 {
+		t.Fatalf("calls = %d after refill, want 3", calls)
+	}
+}
+
+func TestNilBudgetNeverRefuses(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 100; i++ {
+		if !b.Withdraw() {
+			t.Fatal("nil budget refused a withdrawal")
+		}
+	}
+}

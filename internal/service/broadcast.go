@@ -55,9 +55,34 @@ func (b *broadcaster) pushRingLocked(f frame) {
 	b.ring = append(b.ring, f)
 }
 
-// replayLocked queues every retained frame newer than since onto ch.
-// The ring never exceeds ch's buffer, so the sends cannot block.
+// ResyncEvent is the SSE frame injected when a reconnecting client's
+// Last-Event-ID predates the replay ring: the window between the
+// client's cursor and the ring's oldest retained frame was evicted, so
+// replay alone cannot restore continuity. Kind is always "resync"; a
+// consumer keeping derived tallies should re-fetch the job status
+// instead of trusting its stale cursor. Missed counts the evicted
+// frames.
+type ResyncEvent struct {
+	Kind   string `json:"kind"`
+	Missed uint64 `json:"missed_frames"`
+}
+
+// KindResync is the Kind value of ResyncEvent.
+const KindResync = "resync"
+
+// replayLocked queues every retained frame newer than since onto ch,
+// prefixed with an explicit resync marker when the gap between since
+// and the ring's tail was evicted — a gap must never be silent. The
+// marker carries seq 0 so the client's Last-Event-ID cursor is not
+// advanced past frames it never saw. The ring plus marker never
+// exceeds ch's buffer, so the sends cannot block.
 func (b *broadcaster) replayLocked(ch chan frame, since uint64) {
+	if len(b.ring) > 0 && b.ring[0].seq > since+1 {
+		ev := ResyncEvent{Kind: KindResync, Missed: b.ring[0].seq - since - 1}
+		if line, err := json.Marshal(ev); err == nil {
+			ch <- frame{seq: 0, line: line}
+		}
+	}
 	for _, f := range b.ring {
 		if f.seq > since {
 			ch <- f
@@ -73,7 +98,9 @@ func (b *broadcaster) replayLocked(ch chan frame, since uint64) {
 // replay for resumers, the final frame for fresh subscribers — and
 // immediately closed.
 func (b *broadcaster) subscribeSince(since uint64) (chan frame, func()) {
-	ch := make(chan frame, subBuffer)
+	// One extra slot beyond the ring: a replay may be prefixed by the
+	// eviction-gap resync marker.
+	ch := make(chan frame, subBuffer+1)
 	b.mu.Lock()
 	if b.closed {
 		if since > 0 {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -45,8 +46,9 @@ func TestBroadcastSlowSubscriber(t *testing.T) {
 	if n == 0 {
 		t.Fatal("subscriber channel closed without delivering any frame")
 	}
-	if n > subBuffer {
-		t.Errorf("subscriber received %d frames, more than its %d-slot buffer", n, subBuffer)
+	if n > subBuffer+1 {
+		// +1: the channel reserves one slot for a replay's resync marker.
+		t.Errorf("subscriber received %d frames, more than its %d-slot buffer", n, subBuffer+1)
 	}
 	if !strings.Contains(string(last.line), "completed") {
 		t.Errorf("last delivered frame = %s, want the terminal job_state frame", last.line)
@@ -196,5 +198,102 @@ func TestBroadcastConcurrency(t *testing.T) {
 		if last != nil && !strings.Contains(string(last), "\"p\"") && !strings.Contains(string(last), "completed") {
 			t.Errorf("unexpected last frame: %s", last)
 		}
+	}
+}
+
+// TestBroadcastEvictionGapResync pins the replay-gap contract: when a
+// reconnecting subscriber's Last-Event-ID predates the replay ring
+// (the frames between its cursor and the ring's tail were evicted),
+// the replay opens with an explicit resync marker naming the evicted
+// frame count — never a silent gap. The marker carries seq 0 so the
+// client's Last-Event-ID cursor is not advanced past frames it never
+// saw.
+func TestBroadcastEvictionGapResync(t *testing.T) {
+	b := newBroadcaster()
+	const published = ringSize + 10
+	for i := 0; i < published; i++ {
+		b.publishJSON(map[string]int{"i": i})
+	}
+	// The ring now retains seqs published-ringSize+1 .. published; a
+	// cursor at 1 predates it by (published-ringSize+1) - 1 - 1 frames.
+	ch, cancel := b.subscribeSince(1)
+	defer cancel()
+
+	oldest := uint64(published - ringSize + 1)
+	wantMissed := oldest - 1 - 1
+	select {
+	case f := <-ch:
+		if f.seq != 0 {
+			t.Fatalf("first replayed frame has seq %d, want the seq-0 resync marker", f.seq)
+		}
+		line := string(f.line)
+		if !strings.Contains(line, `"kind":"resync"`) {
+			t.Fatalf("first replayed frame = %s, want a resync event", line)
+		}
+		if want := `"missed_frames":` + fmt.Sprint(wantMissed); !strings.Contains(line, want) {
+			t.Errorf("resync frame = %s, want %s", line, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no frame replayed for an eviction-gap resume")
+	}
+	// The retained frames follow, contiguous from the ring's tail.
+	for want := oldest; want < oldest+3; want++ {
+		select {
+		case f := <-ch:
+			if f.seq != want {
+				t.Fatalf("replayed frame has seq %d, want %d", f.seq, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ring replay did not follow the resync marker")
+		}
+	}
+}
+
+// TestBroadcastContiguousReplayHasNoResync is the negative: a resume
+// whose cursor is still inside (or adjacent to) the ring must not see
+// a marker — the replay alone restores continuity.
+func TestBroadcastContiguousReplayHasNoResync(t *testing.T) {
+	b := newBroadcaster()
+	for i := 0; i < 5; i++ {
+		b.publishJSON(map[string]int{"i": i})
+	}
+	ch, cancel := b.subscribeSince(2)
+	defer cancel()
+	select {
+	case f := <-ch:
+		if f.seq != 3 || strings.Contains(string(f.line), "resync") {
+			t.Fatalf("first replayed frame = (seq %d, %s), want plain frame 3", f.seq, f.line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("contiguous replay delivered nothing")
+	}
+}
+
+// TestBroadcastEvictionGapResyncAfterClose covers the same gap on an
+// already-closed broadcaster — the terminal-state replay a late
+// resumer gets must also disclose the eviction before the retained
+// tail and the final frame.
+func TestBroadcastEvictionGapResyncAfterClose(t *testing.T) {
+	b := newBroadcaster()
+	const published = ringSize + 10
+	for i := 0; i < published; i++ {
+		b.publishJSON(map[string]int{"i": i})
+	}
+	b.close(map[string]string{"state": "completed"})
+
+	ch, cancel := b.subscribeSince(1)
+	defer cancel()
+	var frames []frame
+	for f := range ch {
+		frames = append(frames, f)
+	}
+	if len(frames) != ringSize+1 {
+		t.Fatalf("late resumer got %d frames, want %d (marker + ring)", len(frames), ringSize+1)
+	}
+	if frames[0].seq != 0 || !strings.Contains(string(frames[0].line), `"kind":"resync"`) {
+		t.Errorf("first frame = (seq %d, %s), want the resync marker", frames[0].seq, frames[0].line)
+	}
+	if last := frames[len(frames)-1]; !strings.Contains(string(last.line), "completed") {
+		t.Errorf("last frame = %s, want the terminal frame", last.line)
 	}
 }

@@ -38,6 +38,43 @@ func TestEveryRouteIsDocumented(t *testing.T) {
 	}
 }
 
+// TestFailureModeMatrixIsDocumented enforces the operator contract for
+// the resilience layer: docs/OPERATIONS.md must carry a "Failure modes
+// and recovery" matrix covering every automatic intervention and the
+// signal it emits — the warnings and metric names the code actually
+// produces, so an operator chasing a symptom finds the row.
+func TestFailureModeMatrixIsDocumented(t *testing.T) {
+	data, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md must exist: %v", err)
+	}
+	doc := string(data)
+	if !strings.Contains(doc, "## Failure modes and recovery") {
+		t.Fatal("docs/OPERATIONS.md has no \"Failure modes and recovery\" section")
+	}
+	matrix := doc[strings.Index(doc, "## Failure modes and recovery"):]
+	if end := strings.Index(matrix[2:], "\n## "); end >= 0 {
+		matrix = matrix[:end+2]
+	}
+	for _, want := range []string{
+		// The metrics the resilience layer exports.
+		"sfid_retries_total",
+		"sfid_member_breaker_state",
+		"sfid_speculative_parts_total",
+		"sfid_state_write_errors_total",
+		// The warning phrases the coordinator writes onto jobs —
+		// verbatim, so a grep of the matrix matches a grep of a job.
+		"reassigning its draw ranges",
+		"speculatively re-dispatched",
+		"degraded mode",
+		"state write failed",
+	} {
+		if !strings.Contains(matrix, want) {
+			t.Errorf("failure-mode matrix never mentions %q", want)
+		}
+	}
+}
+
 // TestEverySpecFieldIsDocumented keeps the field tables in docs/API.md
 // complete: every JSON field of the request and status schemas must be
 // mentioned.
@@ -51,6 +88,7 @@ func TestEverySpecFieldIsDocumented(t *testing.T) {
 		reflect.TypeOf(service.FleetStatus{}),
 		reflect.TypeOf(service.FleetMember{}),
 		reflect.TypeOf(service.FleetPart{}),
+		reflect.TypeOf(service.ResyncEvent{}),
 	} {
 		for i := 0; i < typ.NumField(); i++ {
 			tag := typ.Field(i).Tag.Get("json")

@@ -60,12 +60,17 @@ func memberConfig(workers int, build service.EvaluatorBuilder) service.Config {
 }
 
 // coordConfig is a coordinator's configuration with a fast poll cycle.
+// Straggler speculation is disabled: at a 10ms poll an interrupted
+// member looks like a straggler within ~100ms, which would race the
+// death/reassignment paths these tests pin (chaos_test.go exercises
+// speculation explicitly).
 func coordConfig(dir string, memberTimeout time.Duration) service.Config {
 	return service.Config{
 		Dir:            dir,
 		Coordinator:    true,
 		MemberTimeout:  memberTimeout,
 		FederationPoll: 10 * time.Millisecond,
+		StragglerRatio: -1,
 	}
 }
 

@@ -2,9 +2,6 @@ package service
 
 import (
 	"context"
-	"fmt"
-	"io"
-	"net/http"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +39,9 @@ type FleetPart struct {
 	Rate     float64 `json:"rate,omitempty"`
 	// Fetched marks a window whose Result is already merged-ready.
 	Fetched bool `json:"fetched,omitempty"`
+	// Speculative marks a window with a straggler re-execution copy in
+	// flight on a second member (the first copy to finish is merged).
+	Speculative bool `json:"speculative,omitempty"`
 }
 
 // FleetMember is one registered member joined with its latest scrape.
@@ -147,7 +147,7 @@ func (s *Service) scrapeMember(ctx context.Context, m MemberStatus) {
 		s.fleet.mu.Unlock()
 		return
 	}
-	body, err := fetchMetrics(ctx, m.URL)
+	body, err := s.fed.fetchMetrics(ctx, m.URL)
 	s.fleet.mu.Lock()
 	defer s.fleet.mu.Unlock()
 	st := s.fleet.memberLocked(m.ID)
@@ -190,27 +190,6 @@ func (s *Service) scrapeMember(ctx context.Context, m MemberStatus) {
 		}
 	}
 	st.rates = rates
-}
-
-// fetchMetrics downloads one member's Prometheus exposition.
-func fetchMetrics(ctx context.Context, baseURL string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := fedClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("metrics scrape: HTTP %d", resp.StatusCode)
-	}
-	return data, nil
 }
 
 // parseMetricLine parses one Prometheus text-exposition sample into
@@ -436,5 +415,22 @@ func (s *Service) registerFleetMetrics() {
 				sum += smp.sc.rateSum()
 			}
 			return sum
+		})
+	s.reg.GaugeVecFunc("sfid_member_breaker_state", "Per-member circuit breaker state: 0 closed, 1 half-open, 2 open.",
+		func() []telemetry.LabeledValue {
+			states := s.fed.group.States()
+			urls := make([]string, 0, len(states))
+			for url := range states {
+				urls = append(urls, url)
+			}
+			sort.Strings(urls)
+			out := make([]telemetry.LabeledValue, 0, len(urls))
+			for _, url := range urls {
+				out = append(out, telemetry.LabeledValue{
+					Labels: []telemetry.Label{{Name: "member", Value: url}},
+					Value:  float64(states[url]),
+				})
+			}
+			return out
 		})
 }

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -112,6 +113,35 @@ type Config struct {
 	// ScrapeInterval is the coordinator's member /metrics scrape cadence
 	// for the federated metric families (default 2s).
 	ScrapeInterval time.Duration
+	// MemberRPCTimeout bounds each member RPC attempt (default 5s).
+	// Document fetches — results and traces can be large — get six
+	// attempts' worth. Retries layer on top, so one slow attempt never
+	// consumes the whole poll cycle.
+	MemberRPCTimeout time.Duration
+	// BreakerThreshold / BreakerOpenFor shape the per-member circuit
+	// breaker: consecutive retryable failures before tripping (default
+	// 5) and how long a tripped breaker refuses before admitting a
+	// half-open probe (default 5s).
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// StragglerRatio and StragglerCycles arm speculative re-execution:
+	// a federated part whose progress rate stays below StragglerRatio ×
+	// the fleet median (default 0.25) for StragglerCycles consecutive
+	// poll cycles (default 8) is speculatively re-dispatched to a spare
+	// member; the first finished copy merges and the loser is canceled.
+	// StragglerRatio < 0 disables speculation.
+	StragglerRatio  float64
+	StragglerCycles int
+	// DegradedAfter is how long a federated draw window may sit
+	// unplaceable (no alive member with a non-tripped breaker) before
+	// the coordinator runs it locally as an ordinary checkpointed job
+	// (default 15s). Negative disables degraded mode.
+	DegradedAfter time.Duration
+	// Transport, when set, replaces the default HTTP transport for every
+	// fleet RPC — the seam the chaos tests and the sfid -chaos flag
+	// inject faults through. Resilience wraps this transport; the engine
+	// hot path never sees it.
+	Transport http.RoundTripper
 }
 
 // job is the in-memory state of one campaign. Mutable fields are
@@ -168,8 +198,15 @@ type Service struct {
 	members   map[string]*member // registered fleet (coordinator only)
 	memberSeq int64
 
-	submitted *telemetry.Counter
-	rejected  *telemetry.Counter
+	submitted      *telemetry.Counter
+	rejected       *telemetry.Counter
+	retries        *telemetry.Counter
+	specParts      *telemetry.Counter
+	stateWriteErrs *telemetry.Counter
+
+	// fed is the resilient RPC client every fleet call goes through
+	// (per-attempt deadlines, retry budget, per-member breakers).
+	fed *memberClient
 
 	// fleet is the coordinator's member-scrape state (nil otherwise); it
 	// has its own lock so scrapes never contend with the scheduler.
@@ -205,6 +242,18 @@ func New(cfg Config) (*Service, error) {
 	if cfg.ScrapeInterval <= 0 {
 		cfg.ScrapeInterval = 2 * time.Second
 	}
+	if cfg.MemberRPCTimeout <= 0 {
+		cfg.MemberRPCTimeout = 5 * time.Second
+	}
+	if cfg.StragglerRatio == 0 {
+		cfg.StragglerRatio = 0.25
+	}
+	if cfg.StragglerCycles <= 0 {
+		cfg.StragglerCycles = 8
+	}
+	if cfg.DegradedAfter == 0 {
+		cfg.DegradedAfter = 15 * time.Second
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: state dir: %w", err)
 	}
@@ -221,6 +270,9 @@ func New(cfg Config) (*Service, error) {
 		nextSeq: 1,
 	}
 	s.registerServiceMetrics()
+	s.fed = newMemberClient(cfg.Transport, cfg.MemberRPCTimeout,
+		cfg.BreakerThreshold, cfg.BreakerOpenFor,
+		func(int, error) { s.retries.Inc() })
 	if cfg.Coordinator {
 		s.fleet = newFleetState()
 		s.loadMembers()
@@ -692,6 +744,9 @@ func (s *Service) openTrace(j *job) (tr *telemetry.Tracer, close func()) {
 func (s *Service) registerServiceMetrics() {
 	s.submitted = s.reg.Counter("sfid_submitted_total", "Campaigns accepted for scheduling.")
 	s.rejected = s.reg.Counter("sfid_rejected_total", "Submissions rejected by queue backpressure.")
+	s.retries = s.reg.Counter("sfid_retries_total", "Fleet RPC retries scheduled by the resilience layer.")
+	s.specParts = s.reg.Counter("sfid_speculative_parts_total", "Speculative duplicate dispatches of straggling federated draw windows.")
+	s.stateWriteErrs = s.reg.Counter("sfid_state_write_errors_total", "Durable-state atomic write failures (job records, member registry, federation documents, results).")
 	s.reg.GaugeFunc("sfid_workers_total", "Size of the shared worker-token pool.",
 		func() float64 { return float64(s.cfg.TotalWorkers) })
 	s.reg.GaugeFunc("sfid_workers_free", "Worker tokens currently unclaimed.",

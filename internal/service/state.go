@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -41,6 +42,22 @@ func (s *Service) resultPath(id string) string {
 }
 func (s *Service) tracePath(id string) string {
 	return filepath.Join(s.cfg.Dir, id+".trace.jsonl")
+}
+
+// atomicWrite commits data to path via the tmp + rename idiom every
+// durable-state file uses. Failures (ENOSPC, permissions, a vanished
+// state dir) bump sfid_state_write_errors_total so a quietly read-only
+// daemon is visible on dashboards, not just in its log.
+func (s *Service) atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	err := os.WriteFile(tmp, data, 0o644)
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil && s.stateWriteErrs != nil {
+		s.stateWriteErrs.Inc()
+	}
+	return err
 }
 
 // jobRecord is the on-disk schema of one job. Timestamps are UTC;
@@ -84,13 +101,15 @@ func (s *Service) persistLocked(j *job) error {
 	if err != nil {
 		return fmt.Errorf("service: encoding job %s: %w", j.id, err)
 	}
-	path := s.jobPath(j.id)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := s.atomicWrite(s.jobPath(j.id), append(data, '\n')); err != nil {
+		// Surface the failure on the job itself (deduplicated against an
+		// identical immediately-preceding notice): the warning rides in
+		// memory and reaches disk with the next successful persist.
+		msg := fmt.Sprintf("state write failed: %v", err)
+		if n := len(j.warnings); n == 0 || j.warnings[n-1] != msg {
+			j.warnings = append(j.warnings, msg)
+		}
 		return fmt.Errorf("service: writing job %s: %w", j.id, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("service: committing job %s: %w", j.id, err)
 	}
 	return nil
 }
@@ -179,20 +198,11 @@ func (s *Service) recover() error {
 // writeResult persists the final Result document atomically, in the
 // exact WriteJSON byte form sfirun produces.
 func (s *Service) writeResult(id string, res *core.Result) error {
-	path := s.resultPath(id)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
 		return fmt.Errorf("service: writing result: %w", err)
 	}
-	if err := res.WriteJSON(f); err != nil {
-		f.Close()
-		return fmt.Errorf("service: writing result: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("service: writing result: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.atomicWrite(s.resultPath(id), buf.Bytes()); err != nil {
 		return fmt.Errorf("service: committing result: %w", err)
 	}
 	return nil
